@@ -1,0 +1,83 @@
+"""Ablation (paper §4.1.1): particle ordering for the deposit loop.
+
+Paper: "Particle sorting is available as an auxiliary API call within
+OP-PIC; however, periodic shuffling with hole-filling has proven most
+effective on GPUs to minimize serialization issues."
+
+Sorting groups same-cell particles contiguously (good CPU locality, but
+adjacent GPU lanes then hammer the same element); shuffling spreads them
+(adjacent lanes hit distinct elements).  We measure the *adjacent-lane
+conflict* profile — the quantity atomic serialization actually sees —
+under both orderings, on a real deposit workload.
+"""
+import numpy as np
+import pytest
+
+from repro.apps.fempic import FemPicConfig, FemPicSimulation
+from repro.core.api import push_context, shuffle_particles, \
+    sort_particles_by_cell
+
+from .common import write_result
+
+WARP = 32
+
+
+def adjacent_conflicts(rows: np.ndarray, width: int = WARP) -> float:
+    """Mean number of lanes per warp that write the same target element —
+    1.0 is conflict-free, ``width`` is full serialization."""
+    n = rows.size - rows.size % width
+    groups = rows[:n].reshape(-1, width)
+    worst = [np.bincount(g).max() for g in groups]
+    return float(np.mean(worst))
+
+
+@pytest.fixture(scope="module")
+def sim():
+    from .common import quasineutral
+    cfg = FemPicConfig(nx=3, ny=3, nz=8, dt=0.3, plasma_den=4e3, n0=4e3,
+                       backend="vec")
+    s = FemPicSimulation(quasineutral(cfg, 600))
+    s.seed_uniform_plasma(600)
+    with push_context(s.ctx):
+        s.move()
+    return s
+
+
+def test_ablation_sorting_vs_shuffling(sim, benchmark):
+    rows_of = lambda: sim.c2n.values[sim.p2c.p2c, 0]  # noqa: E731
+
+    sort_particles_by_cell(sim.parts)
+    sorted_conf = adjacent_conflicts(rows_of())
+    shuffle_particles(sim.parts, np.random.default_rng(11))
+    shuffled_conf = adjacent_conflicts(rows_of())
+
+    benchmark(lambda: sort_particles_by_cell(sim.parts))
+
+    lines = ["Ablation — particle ordering vs warp-level write conflicts",
+             f"sorted by cell : {sorted_conf:6.2f} conflicting lanes/warp",
+             f"shuffled       : {shuffled_conf:6.2f} conflicting "
+             "lanes/warp",
+             f"serialization reduction: "
+             f"{sorted_conf / shuffled_conf:.1f}x"]
+    write_result("ablation_sorting", "\n".join(lines))
+
+    # the paper's rationale: shuffling drastically reduces same-element
+    # conflicts among adjacent lanes compared to a cell-sorted layout
+    assert shuffled_conf < 0.5 * sorted_conf
+    assert sorted_conf > 0.5 * WARP     # sorted ≈ fully serialized warps
+
+
+def test_sorting_preserves_physics(sim, benchmark):
+    """Both auxiliary orderings leave the deposited charge unchanged."""
+    def deposit_total():
+        with push_context(sim.ctx):
+            sim.deposit()
+        return float(sim.nw.data.sum())
+
+    base = deposit_total()
+    sort_particles_by_cell(sim.parts)
+    after_sort = deposit_total()
+    shuffle_particles(sim.parts, np.random.default_rng(1))
+    after_shuffle = benchmark(deposit_total)
+    assert after_sort == pytest.approx(base, rel=1e-12)
+    assert after_shuffle == pytest.approx(base, rel=1e-12)

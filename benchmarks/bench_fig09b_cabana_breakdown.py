@@ -1,0 +1,79 @@
+"""Figure 9(b): CabanaPIC single node/device runtime breakdown.
+
+Paper setup: 96k-cell brick (40×40×60), 72M and 144M particles
+(750 / 1500 ppc), MH move.  Findings to reproduce: (i) Move_Deposit
+overwhelmingly dominates everywhere; (ii) for the 144M-particle problem
+the 2×EPYC 7742 node beats the V100 (kernel divergence + atomics
+serialization); (iii) the MI250X GCD stays ahead of the CPU nodes.
+"""
+import pytest
+
+from repro.apps.cabana import CabanaConfig, CabanaSimulation
+
+from .common import (breakdown_table, device_breakdown, dominant_kernel,
+                     total_time, write_result)
+
+PAPER_CELLS = 96_000
+PAPER_ITERS = 250
+DEVICES = ["xeon_8268", "epyc_7742", "v100", "h100", "mi210", "mi250x_gcd"]
+PARTICLE_KERNELS = {"Move_Deposit"}
+
+
+def measure(ppc: int) -> CabanaSimulation:
+    cfg = CabanaConfig(nx=6, ny=6, nz=9, ppc=ppc, n_steps=3, backend="vec")
+    sim = CabanaSimulation(cfg)
+    sim.run()
+    return sim
+
+
+def cabana_scales(sim: CabanaSimulation, paper_particles: float) -> dict:
+    scales = {}
+    for name, st in sim.ctx.perf.loops.items():
+        if name in PARTICLE_KERNELS:
+            scales[name] = paper_particles * PAPER_ITERS \
+                / max(st.n_total, 1)
+        else:
+            scales[name] = PAPER_CELLS * PAPER_ITERS / max(st.n_total, 1)
+    return scales
+
+
+@pytest.mark.parametrize("ppc,paper_particles,label", [
+    (700, 72e6, "72M"),
+    (1400, 144e6, "144M"),
+])
+def test_fig09b_breakdown(benchmark, ppc, paper_particles, label):
+    sim = measure(ppc)
+    benchmark(sim.step)
+    scales = cabana_scales(sim, paper_particles)
+    loops = list(sim.ctx.perf.loops.values())
+    table = breakdown_table(
+        f"Figure 9(b) — CabanaPIC modelled breakdown (s, 96k cells / "
+        f"{label} particles / {PAPER_ITERS} iters)", loops, DEVICES,
+        scale=scales)
+    write_result(f"fig09b_cabana_breakdown_{label}", table)
+
+    # (i) Move_Deposit overwhelmingly dominates on every device
+    for device in DEVICES:
+        bd = device_breakdown(loops, device, scale=scales)
+        assert bd["Move_Deposit"] > 0.5 * sum(bd.values()), \
+            f"Move_Deposit should dominate on {device}"
+        assert dominant_kernel(loops, device, scale=scales) == \
+            "Move_Deposit"
+
+    epyc = total_time(loops, "epyc_7742", scale=scales)
+    v100 = total_time(loops, "v100", scale=scales)
+    mi250x = total_time(loops, "mi250x_gcd", scale=scales)
+    if label == "144M":
+        # (ii) the EPYC node beats the V100 at 1500 ppc (paper: ~20%)
+        assert epyc < v100
+    # (iii) the MI250X GCD stays ahead of the CPU nodes
+    assert mi250x < epyc
+
+
+def test_fig09b_collision_depth_tracks_ppc(benchmark):
+    sim = measure(1400)
+    benchmark(sim.step)
+    st = sim.ctx.perf.get("Move_Deposit")
+    assert st.max_collisions > 0.5 * 1400
+    assert st.extras.get("branches", 0) >= 3, \
+        "Move_Deposit is a heavily branching kernel (divergence matters)"

@@ -1,0 +1,56 @@
+"""Figure 11: CabanaPIC rooflines on Xeon 8268, V100, MI250X GCD.
+
+Paper findings: (i) every routine is bandwidth bound; (ii) the fused
+Move_Deposit sits just below the DRAM roof on the CPU (move + deposit in
+one pass) and is divergence-limited on GPUs; (iii) Update_Ghosts never
+appears (it is halo exchange, not compute).
+"""
+import pytest
+
+from repro.apps.cabana import CabanaConfig, CabanaSimulation
+from repro.perf import MACHINES, analyze, format_table
+
+from .common import write_result
+
+MAIN_KERNELS = {"Interpolate", "Move_Deposit", "AccumulateCurrent",
+                "AdvanceB", "AdvanceE"}
+
+
+@pytest.fixture(scope="module")
+def measured():
+    sim = CabanaSimulation(CabanaConfig(nx=6, ny=6, nz=9, ppc=700,
+                                        n_steps=3, backend="vec"))
+    sim.run()
+    return sim
+
+
+def test_fig11_rooflines(measured, benchmark):
+    sim = measured
+    benchmark(sim.step)
+    loops = [st for st in sim.ctx.perf.loops.values()
+             if st.name in MAIN_KERNELS]
+    out = []
+    by_device = {}
+    for device, strategy in (("xeon_8268", "scatter_arrays"),
+                             ("v100", "atomics"),
+                             ("mi250x_gcd", "unsafe_atomics")):
+        pts = analyze(loops, MACHINES[device], strategy=strategy)
+        by_device[device] = {p.kernel: p for p in pts}
+        out.append(format_table(pts, MACHINES[device],
+                                title=f"Figure 11 — CabanaPIC roofline, "
+                                      f"{MACHINES[device].name}"))
+    write_result("fig11_cabana_roofline", "\n\n".join(out))
+
+    # (i) all bandwidth-or-latency bound
+    for device, pts in by_device.items():
+        for p in pts.values():
+            assert p.bound != "compute", (device, p.kernel)
+
+    # (ii) Move_Deposit achieves a solid fraction of the CPU DRAM roof
+    cpu_md = by_device["xeon_8268"]["Move_Deposit"]
+    assert cpu_md.bound in ("DRAM", "L3")
+    # ... but is pushed below the roof on GPUs by divergence
+    for device in ("v100", "mi250x_gcd"):
+        md = by_device[device]["Move_Deposit"]
+        assert md.efficiency < cpu_md.efficiency + 1e-9 or \
+            md.efficiency < 0.9

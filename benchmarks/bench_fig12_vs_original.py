@@ -1,0 +1,86 @@
+"""Figure 12: CabanaPIC, OP-PIC version vs the original structured code.
+
+Paper: at 750/1500/3000 particles per cell, OP-PIC's generated CPU code
+is up to 15% *faster* than the Kokkos original (single core and single
+socket), and matches it on a V100 — the unstructured formulation costs
+nothing because Move_Deposit dominates and gains nothing from structure;
+OP-PIC reads an int map where the original computes the index.
+
+Reproduction: (a) **measured** — real wall time of the DSL-generated
+NumPy code vs our hand-vectorized structured reference (the original's
+stand-in).  A Python DSL pays per-loop dispatch/gather overhead that a
+C++ DSL does not, so the measured ratio sits above 1 and falls as ppc
+grows (overhead amortizes); the crossover trend is the reproducible
+shape.  (b) **modelled** — pricing both versions' operation counters on
+the V100 shows parity within a few percent, the paper's GPU result.
+"""
+import time
+
+import pytest
+
+from repro.apps.cabana import (CabanaConfig, CabanaSimulation,
+                               StructuredCabanaReference)
+from repro.perf import MACHINES, kernel_time
+
+from .common import scale_stats, write_result
+
+PPC_REGIMES = [8, 16, 32]   # stand-ins for the paper's 750/1500/3000
+
+
+def timed_steps(obj, n=3) -> float:
+    t0 = time.perf_counter()
+    for _ in range(n):
+        obj.step()
+    return (time.perf_counter() - t0) / n
+
+
+@pytest.fixture(scope="module")
+def measured():
+    rows = []
+    for ppc in PPC_REGIMES:
+        cfg = CabanaConfig(nx=12, ny=12, nz=18, ppc=ppc, n_steps=2)
+        sim = CabanaSimulation(cfg)
+        sim.run()                      # warm-up + counters
+        ref = StructuredCabanaReference(cfg)
+        ref.run()
+        t_dsl = timed_steps(sim)
+        t_ref = timed_steps(ref)
+        rows.append((ppc, t_dsl, t_ref, sim))
+    return rows
+
+
+def test_fig12_cpu_and_gpu_comparison(measured, benchmark):
+    rows = measured
+    benchmark(rows[-1][3].step)
+
+    lines = ["Figure 12 — CabanaPIC: OP-PIC vs original (structured)",
+             f"{'ppc':>6}{'DSL s/step':>14}{'orig s/step':>14}"
+             f"{'ratio':>8}"]
+    ratios = []
+    for ppc, t_dsl, t_ref, _sim in rows:
+        lines.append(f"{ppc:>6}{t_dsl:>14.4f}{t_ref:>14.4f}"
+                     f"{t_dsl / t_ref:>8.2f}")
+        ratios.append(t_dsl / t_ref)
+
+    # modelled V100 comparison: the original computes neighbour indices
+    # instead of reading the int maps — remove the map-read bytes from
+    # Move_Deposit's counters and compare
+    sim = rows[-1][3]
+    md = sim.ctx.perf.get("Move_Deposit")
+    v100 = MACHINES["v100"]
+    t_dsl_gpu = kernel_time(md, v100, "atomics")
+    ref_md = scale_stats(md, 1.0)
+    ref_md.nbytes -= md.hops * (8 + 8 * 6)   # p2c + 6-face map reads
+    t_ref_gpu = kernel_time(ref_md, v100, "atomics")
+    lines.append(f"modelled V100 Move_Deposit: OP-PIC {t_dsl_gpu:.4f}s vs "
+                 f"original {t_ref_gpu:.4f}s "
+                 f"(ratio {t_dsl_gpu / t_ref_gpu:.3f})")
+    write_result("fig12_vs_original", "\n".join(lines))
+
+    # paper shape (GPU): parity — map reads are a few % of move traffic
+    assert 0.9 < t_dsl_gpu / t_ref_gpu < 1.15
+    # measured shape (CPU): interpreter overhead amortizes with ppc
+    assert ratios[-1] < ratios[0]
+    # and the DSL stays within one small constant of the hand-written
+    # structured baseline even in pure Python
+    assert ratios[-1] < 5.0

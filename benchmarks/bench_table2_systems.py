@@ -1,0 +1,41 @@
+"""Table 2: benchmark-system specifications.
+
+Static catalogue reproduction: node configurations, device counts, power
+envelopes and interconnects of Avon, ARCHER2, Bede and LUMI-G, as encoded
+in :mod:`repro.perf.machine` and consumed by every device-model benchmark.
+"""
+from repro.perf import CLUSTERS, MACHINES
+
+from .common import write_result
+
+
+def test_table2_systems(benchmark):
+    def render() -> str:
+        lines = ["Table 2 — systems specification (model catalogue)",
+                 f"{'system':<12}{'device':<28}{'dev/node':>9}"
+                 f"{'node W':>8}{'net GB/s':>10}{'lat us':>8}"]
+        for name, c in CLUSTERS.items():
+            lines.append(f"{name:<12}{c.machine.name:<28}"
+                         f"{c.devices_per_node:>9}{c.node_power_w:>8.0f}"
+                         f"{c.net_gbs:>10.2f}{c.net_latency_us:>8.1f}")
+        lines.append("")
+        lines.append(f"{'device':<28}{'peak GF/s':>10}{'DRAM GB/s':>10}"
+                     f"{'L3 GB/s':>9}{'W':>6}")
+        for m in MACHINES.values():
+            lines.append(f"{m.name:<28}{m.peak_gflops:>10.0f}"
+                         f"{m.dram_gbs:>10.0f}"
+                         f"{(m.l3_gbs or 0):>9.0f}{m.power_w:>6.0f}")
+        return "\n".join(lines)
+
+    text = benchmark(render)
+    write_result("table2_systems", text)
+
+    # Table 2 facts
+    assert CLUSTERS["avon"].machine.cores == 48          # 2×24
+    assert CLUSTERS["archer2"].machine.cores == 128      # 2×64
+    assert CLUSTERS["bede"].devices_per_node == 4        # 4×V100
+    assert CLUSTERS["lumi-g"].devices_per_node == 8      # 4×MI250X = 8 GCDs
+    assert CLUSTERS["avon"].node_power_w == 475
+    assert CLUSTERS["archer2"].node_power_w == 660
+    assert CLUSTERS["bede"].node_power_w == 1500
+    assert CLUSTERS["lumi-g"].node_power_w == 2390

@@ -1,0 +1,57 @@
+"""Advection mini-app gallery: uniform streaming and solid-body rotation.
+
+The smallest complete OP-PIC program — no field solve, no deposition,
+just the particle-move machinery — plus the distributed version and a
+VTK dump for visualization.
+
+Run:  python examples/advection_gallery.py
+"""
+import numpy as np
+
+from repro.apps.advec import AdvecConfig, AdvecSimulation, DistributedAdvec
+from repro.util.vtk import write_vtk_particles
+
+
+def main():
+    # 1. uniform flow on a periodic mesh: exact return after one period
+    cfg = AdvecConfig(nx=8, ny=8, vx0=0.25, vy0=0.125, dt=0.1, ppc=2)
+    sim = AdvecSimulation(cfg)
+    start = sim.positions_xy().copy()
+    period = int(round(2 * cfg.lx / (cfg.vx0 * cfg.dt)))   # both axes
+    sim.run(period)
+    err = np.abs(sim.positions_xy() - start).max()
+    print(f"uniform flow: {cfg.n_particles} tracers, {period} steps, "
+          f"max return error {err:.2e}")
+    move = sim.ctx.perf.get("Advect")
+    print(f"  {move.hops} hops "
+          f"({move.hops / move.n_total:.2f} per particle-step)")
+
+    # 2. solid-body rotation: radii are preserved
+    rot = AdvecConfig(nx=32, ny=32, flow="rotation", omega=1.0, dt=0.02,
+                      ppc=1)
+    sim2 = AdvecSimulation(rot)
+    centre = np.array([rot.lx / 2, rot.ly / 2])
+    r0 = np.linalg.norm(sim2.positions_xy() - centre, axis=1)
+    sim2.run(100)
+    r1 = np.linalg.norm(sim2.positions_xy() - centre, axis=1)
+    inner = r0 < 0.3
+    print(f"rotation: drift in radius after 100 steps "
+          f"(inner tracers): {np.abs(r1[inner] - r0[inner]).max():.4f}")
+
+    pos3d = np.concatenate([sim2.positions_xy(),
+                            np.zeros((sim2.parts.size, 1))], axis=1)
+    path = write_vtk_particles("results/advec_tracers.vtk", pos3d,
+                               fields={"radius0": r0})
+    print(f"  tracer cloud written to {path}")
+
+    # 3. distributed: migration across rank slabs, nothing lost
+    dist = DistributedAdvec(cfg, nranks=4)
+    dist.run(40)
+    print(f"distributed (4 ranks): {dist.total_particles()} tracers "
+          f"(expected {cfg.n_particles}), "
+          f"{dist.comm.stats.total_messages} messages, "
+          f"{dist.comm.stats.total_bytes / 1e3:.1f} kB migrated")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Look inside the source-to-source translator (paper §3.4).
+
+Prints, for two application kernels, the parsed IR facts (parameters,
+FLOP count, divergent branches) and the generated vectorized program —
+the Python analogue of inspecting OP-PIC's generated CUDA/OpenMP files.
+
+Run:  python examples/translator_inspect.py
+"""
+from repro.apps.cabana.kernels import move_deposit_kernel
+from repro.apps.fempic.kernels import (compute_electric_field_kernel,
+                                       move_kernel)
+from repro.core.kernel import Kernel
+
+
+def show(fn):
+    k = Kernel(fn)
+    ir = k.ir()
+    gen = k.generated("vec")
+    print("=" * 72)
+    print(f"kernel          : {k.name}")
+    print(f"parameters      : {ir.params}")
+    print(f"move kernel     : {ir.is_move}")
+    print(f"FLOPs / element : {ir.flop_count}")
+    print(f"branch weight   : {k.branch_count()}  (drives the GPU "
+          "divergence model)")
+    print(f"translated      : {'vectorized' if gen.vectorized else 'loop'}")
+    print("-" * 72)
+    print(gen.source)
+
+
+def main():
+    show(compute_electric_field_kernel)   # the paper's Figure 5 loop
+    show(move_kernel)                     # the paper's Figure 6 move
+    show(move_deposit_kernel)             # CabanaPIC's fused EM move
+    print("=" * 72)
+    print("Every backend (vec / omp / cuda / hip) drives these same "
+          "generated\nfunctions with a different execution plan — scatter "
+          "arrays, atomics,\nunsafe atomics or segmented reductions for "
+          "the indirect increments.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""2-D sheet model: cold-plasma (Langmuir) oscillation on triangles.
+
+Electrons over a neutralizing background between grounded electrodes,
+seeded with the fundamental standing mode — the textbook plasma
+oscillation, resolved by the DSL on a fully unstructured triangular
+mesh, then repeated over simulated MPI ranks.
+
+Run:  python examples/twod_langmuir.py
+"""
+import numpy as np
+
+from repro.apps.twod import DistributedTwoD, TwoDConfig, TwoDSheetModel
+
+
+def measured_wp(energy, dt):
+    e = np.asarray(energy)
+    mins = np.flatnonzero((e[1:-1] < e[:-2]) & (e[1:-1] < e[2:])) + 1
+    if len(mins) < 2:
+        return float("nan")
+    return np.pi / (np.median(np.diff(mins)) * dt)
+
+
+def main():
+    cfg = TwoDConfig(nx=16, ny=8, ppc=8, dt=0.05, n_steps=300)
+    sim = TwoDSheetModel(cfg)
+    print(f"{cfg.n_particles} electrons on {cfg.n_cells} triangles "
+          f"({sim.mesh.n_nodes} nodes); theory ωp = "
+          f"{cfg.plasma_frequency:.3f}")
+    sim.run()
+    wp = measured_wp(sim.history["field_energy"], cfg.dt)
+    print(f"measured ωp from field-energy minima: {wp:.3f} "
+          f"({abs(wp - cfg.plasma_frequency) / cfg.plasma_frequency:.1%} "
+          "off theory)")
+    print(sim.ctx.perf.report("\nPer-kernel breakdown"))
+
+    dist = DistributedTwoD(cfg.scaled(n_steps=40), nranks=3)
+    dist.run()
+    err = abs(dist.history["field_energy"][-1]
+              - sim.history["field_energy"][39]) \
+        / sim.history["field_energy"][39]
+    print(f"\n3-rank distributed run matches single rank to {err:.1e} "
+          f"({dist.comm.stats.total_messages} PIC messages, solve "
+          f"traffic ledgered separately: "
+          f"{dist.solve_stats.total_bytes / 1e3:.1f} kB)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment is offline with setuptools but no ``wheel``
+package, so PEP-517 editable installs (which require bdist_wheel) fail.
+Keeping this shim lets ``pip install -e . --no-build-isolation`` (and plain
+``pip install -e .`` on older pips) fall back to the classic
+``setup.py develop`` path.
+"""
+from setuptools import setup
+
+setup()

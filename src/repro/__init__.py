@@ -1,0 +1,21 @@
+"""repro — a Python reproduction of OP-PIC (Lantra et al., ICPP 2024).
+
+An embedded DSL for unstructured-mesh particle-in-cell simulations with a
+source-to-source translator, multiple execution backends, a simulated
+distributed-memory runtime, and the paper's two mini-applications
+(Mini-FEM-PIC and CabanaPIC).
+
+Quickstart::
+
+    from repro import opp
+
+    cells = opp.decl_set(n_cells, "cells")
+    parts = opp.decl_particle_set(cells, 0, "particles")
+    ...
+"""
+from . import core as opp  # noqa: F401 - the public DSL namespace
+from .core import *  # noqa: F401,F403
+from .core import __all__ as _core_all
+
+__version__ = "1.0.0"
+__all__ = ["opp", "__version__"] + list(_core_all)

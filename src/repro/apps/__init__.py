@@ -1,0 +1,1 @@
+"""The paper's two mini-applications built on the OP-PIC DSL."""

@@ -1,0 +1,8 @@
+"""Advection mini-app: the pure particle-move stress test (the OP-PIC
+repository's third application)."""
+from .config import AdvecConfig
+from .simulation import AdvecSimulation, DistributedAdvec, \
+    cell_velocity_field
+
+__all__ = ["AdvecConfig", "AdvecSimulation", "DistributedAdvec",
+           "cell_velocity_field"]

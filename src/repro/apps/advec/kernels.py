@@ -1,0 +1,44 @@
+"""Advection mini-app kernels.
+
+Particles carry fractional in-cell offsets (as in CabanaPIC) and walk a
+periodic 2-D quad mesh under a velocity sampled from their cell — one
+``update_velocity`` mesh-free loop plus one pure multi-hop move.
+
+Constants: ``adv_dtx, adv_dty`` (2·dt/Δ per axis).
+Face map layout (arity 4): ``0:-x 1:+x 2:-y 3:+y``.
+"""
+from __future__ import annotations
+
+from repro.core.api import CONST
+
+__all__ = ["advect_move_kernel"]
+
+
+def advect_move_kernel(move, pos, disp, pushed, cvel):
+    """One hop of the 2-D offset walk (no deposition: pure advection)."""
+    if pushed[0] < 0.5:
+        pushed[0] = 1.0
+        disp[0] = cvel[0] * CONST.adv_dtx
+        disp[1] = cvel[1] * CONST.adv_dty
+
+    s0 = 1.0 if disp[0] >= 0.0 else -1.0
+    s1 = 1.0 if disp[1] >= 0.0 else -1.0
+    tx = (1.0 - s0 * pos[0]) / (abs(disp[0]) + 1e-300)
+    ty = (1.0 - s1 * pos[1]) / (abs(disp[1]) + 1e-300)
+    tmin = min(tx, ty, 1.0)
+
+    pos[0] = pos[0] + disp[0] * tmin
+    pos[1] = pos[1] + disp[1] * tmin
+    disp[0] = disp[0] * (1.0 - tmin)
+    disp[1] = disp[1] * (1.0 - tmin)
+
+    if tmin >= 1.0:
+        move.done()
+    else:
+        if tx <= ty:
+            pos[0] = -s0
+            face = 1 if s0 > 0.0 else 0
+        else:
+            pos[1] = -s1
+            face = 3 if s1 > 0.0 else 2
+        move.move_to(move.c2c[face])

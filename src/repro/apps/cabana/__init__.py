@@ -1,0 +1,9 @@
+"""CabanaPIC: electromagnetic two-stream PIC (DSL port + structured
+reference baseline)."""
+from .config import CabanaConfig
+from .init import declare_cabana_constants, two_stream_initial_state
+from .reference import StructuredCabanaReference
+from .simulation import CabanaSimulation
+
+__all__ = ["CabanaConfig", "CabanaSimulation", "StructuredCabanaReference",
+           "two_stream_initial_state", "declare_cabana_constants"]

@@ -1,0 +1,58 @@
+"""2-D sheet-model configuration.
+
+The NEPTUNE 1-D/2-D particle models (ExCALIBUR report CD/EXCALIBUR-FMS/
+0070, cited by the paper) exercise electrostatic PIC physics in reduced
+dimensions; this app is the 2-D electrostatic analogue on a *triangular*
+unstructured mesh: electrons over a uniform neutralizing ion background
+in a grounded box.  A displaced electron slab rings at the plasma
+frequency — the classic cold-plasma oscillation benchmark.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["TwoDConfig"]
+
+
+@dataclass
+class TwoDConfig:
+    nx: int = 16
+    ny: int = 8
+    lx: float = 2.0
+    ly: float = 1.0
+    ppc: int = 8                    # electrons per triangle
+
+    qe: float = -1.0                # electron charge
+    me: float = 1.0
+    eps0: float = 1.0
+    density: float = 1.0            # electron (= background ion) density
+    displacement: float = 0.02      # initial slab displacement (×lx)
+
+    dt: float = 0.05
+    n_steps: int = 100
+    seed: int = 21
+    backend: str = "vec"
+    backend_options: dict = field(default_factory=dict)
+    move_tolerance: float = 1e-12
+
+    @property
+    def n_cells(self) -> int:
+        return 2 * self.nx * self.ny
+
+    @property
+    def n_particles(self) -> int:
+        return self.n_cells * self.ppc
+
+    @property
+    def weight(self) -> float:
+        """Macro weight so the seeded population realises ``density``."""
+        return self.density * self.lx * self.ly / self.n_particles
+
+    @property
+    def plasma_frequency(self) -> float:
+        import math
+        return math.sqrt(self.density * self.qe * self.qe
+                         / (self.eps0 * self.me))
+
+    def scaled(self, **overrides) -> "TwoDConfig":
+        return replace(self, **overrides)

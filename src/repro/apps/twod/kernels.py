@@ -1,0 +1,56 @@
+"""2-D sheet-model elemental kernels.
+
+Constants: ``dt2, qm2, tol2`` (time step, charge/mass, walk tolerance).
+``xf`` packs the triangle's barycentric transform ``[v0 (2), A (4)]``;
+``gradm`` packs the three P1 gradients ``[g0x g0y g1x g1y g2x g2y]``.
+"""
+from __future__ import annotations
+
+from repro.core.api import CONST
+
+__all__ = ["push2d_kernel", "move2d_kernel", "deposit2d_kernel",
+           "field2d_kernel", "reset2d_kernel"]
+
+
+def push2d_kernel(ef, pos, vel):
+    """2-D electrostatic leapfrog (cell field constant per triangle)."""
+    vel[0] = vel[0] + CONST.qm2 * ef[0] * CONST.dt2
+    vel[1] = vel[1] + CONST.qm2 * ef[1] * CONST.dt2
+    pos[0] = pos[0] + vel[0] * CONST.dt2
+    pos[1] = pos[1] + vel[1] * CONST.dt2
+
+
+def move2d_kernel(move, pos, lc, xf):
+    """Barycentric walk over triangles (2-D analogue of Figure 6)."""
+    dx = pos[0] - xf[0]
+    dy = pos[1] - xf[1]
+    l1 = xf[2] * dx + xf[3] * dy
+    l2 = xf[4] * dx + xf[5] * dy
+    l0 = 1.0 - l1 - l2
+    if l0 >= -CONST.tol2 and l1 >= -CONST.tol2 and l2 >= -CONST.tol2:
+        lc[0] = l0
+        lc[1] = l1
+        lc[2] = l2
+        move.done()
+    else:
+        m01 = 0 if l0 <= l1 else 1
+        v01 = min(l0, l1)
+        worst = m01 if v01 <= l2 else 2
+        move.move_to(move.c2c[worst])
+
+
+def deposit2d_kernel(lc, n0, n1, n2):
+    """Barycentric charge weights to the triangle's three nodes."""
+    n0[0] = n0[0] + lc[0]
+    n1[0] = n1[0] + lc[1]
+    n2[0] = n2[0] + lc[2]
+
+
+def field2d_kernel(ef, gradm, p0, p1, p2):
+    """Cell field from node potentials: ``E = −Σ φ_i ∇λ_i``."""
+    ef[0] = -(gradm[0] * p0[0] + gradm[2] * p1[0] + gradm[4] * p2[0])
+    ef[1] = -(gradm[1] * p0[0] + gradm[3] * p1[0] + gradm[5] * p2[0])
+
+
+def reset2d_kernel(w):
+    w[0] = 0.0

@@ -1,0 +1,226 @@
+"""Vectorised backend: runs translator-generated batch kernels.
+
+The driver implements the gather → generated-kernel → scatter execution
+plan.  Race handling for indirect increments is pluggable
+(:mod:`repro.backends.reduction`), which is exactly how the OpenMP and
+GPU backends below specialise this driver.
+
+Particle moves run as a *frontier* loop: every still-moving particle
+advances one hop per round through the generated (predicated) move kernel;
+finished / removed / migrating particles drop out of the frontier.  This
+is the SIMT formulation of OP-PIC's multi-hop move.
+"""
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.args import Arg, ArgKind
+from ..core.loops import ParLoop
+from ..core.move import MoveLoop, MoveResult
+from ..core.types import AccessMode, MoveStatus
+from .base import Backend
+from .plan import PlanCache
+from .reduction import ReductionStrategy, make_strategy
+from .seq import SeqBackend
+
+__all__ = ["VecBackend"]
+
+
+class VecBackend(Backend):
+    """Generated-code backend with a configurable reduction strategy."""
+
+    name = "vec"
+
+    def __init__(self, strategy: str = "atomics", **strategy_options):
+        self.strategy_name = strategy
+        self.strategy: ReductionStrategy = make_strategy(strategy,
+                                                         **strategy_options)
+        #: OP2-style plan cache: static mesh-map indirection schedules
+        self.plan = PlanCache()
+        self._seq = SeqBackend()
+
+    # -- opp_par_loop -----------------------------------------------------------
+
+    def execute(self, loop: ParLoop) -> Optional[dict]:
+        if loop.n_iter == 0:
+            return None
+        gen = loop.kernel.generated("vec")
+        if not gen.vectorized:
+            self._seq.execute(loop)
+            return {"fallback": True}
+
+        full = loop.start == 0 and loop.end == loop.iterset.size
+        idx = loop.iter_indices()
+        params: List[np.ndarray] = []
+        writeback: List[Tuple[Arg, np.ndarray, Optional[np.ndarray]]] = []
+        n = idx.size
+
+        for a in loop.args:
+            if a.is_global:
+                if a.access is AccessMode.READ:
+                    params.append(a.dat.data.reshape(1, -1))
+                else:
+                    init = {AccessMode.INC: 0.0, AccessMode.MIN: np.inf,
+                            AccessMode.MAX: -np.inf}[a.access]
+                    buf = np.full((n, a.dat.dim), init,
+                                  dtype=a.dat.data.dtype)
+                    params.append(buf)
+                    writeback.append((a, buf, None))
+                continue
+            if a.kind == ArgKind.DIRECT and a.access is AccessMode.READ \
+                    and full:
+                params.append(a.dat.data)
+                continue
+            rows = self.plan.rows(loop, a, idx)   # planned (static) or None
+            if a.access in (AccessMode.READ, AccessMode.RW):
+                buf = (a.dat.data[rows] if rows is not None
+                       else self.gather(a, idx))
+            else:  # WRITE / INC start from a clean buffer
+                buf = np.zeros((n, a.dat.dim), dtype=a.dat.dtype)
+            params.append(buf)
+            if a.access.writes:
+                writeback.append((a, buf, rows))
+
+        # predication evaluates both branch sides; masked-off lanes may
+        # produce invalid intermediates that the np.where discards — the
+        # same thing a SIMT machine does — so FP warnings are suppressed
+        with np.errstate(invalid="ignore", divide="ignore",
+                         over="ignore"):
+            gen.fn(*params)
+
+        max_coll = 0
+        for a, buf, rows in writeback:
+            if a.is_global:
+                if a.access is AccessMode.INC:
+                    a.dat.data += buf.sum(axis=0)
+                elif a.access is AccessMode.MIN:
+                    np.minimum(a.dat.data, buf.min(axis=0), out=a.dat.data)
+                else:
+                    np.maximum(a.dat.data, buf.max(axis=0), out=a.dat.data)
+                continue
+            if a.kind == ArgKind.DIRECT:
+                if a.access is AccessMode.INC:
+                    if full:
+                        np.add(a.dat.data, buf, out=a.dat.data)
+                    else:
+                        a.dat.data[idx] += buf
+                else:
+                    a.dat.data[idx] = buf
+                continue
+            if rows is not None:
+                if a.access is AccessMode.INC:
+                    coll = self.strategy.apply(a.dat.data, rows, buf)
+                else:   # WRITE / RW via a static map
+                    a.dat.data[rows] = buf
+                    coll = 0
+            else:
+                coll = self.scatter(a, idx, buf, strategy=self.strategy)
+            max_coll = max(max_coll, coll)
+        return {"collisions": max_coll, "strategy": self.strategy_name}
+
+    # -- opp_particle_move --------------------------------------------------------
+
+    def execute_move(self, loop: MoveLoop) -> MoveResult:
+        gen = loop.kernel.generated("vec")
+        if not gen.vectorized:
+            return self._seq.execute_move(loop)
+
+        from ..translator.codegen import VecMoveContext
+
+        p2c = loop.p2c_map.p2c
+        c2c = loop.c2c_map.values
+        foreign = loop.foreign_cell_mask
+
+        idx = loop.iter_indices()
+        alive = p2c[idx] >= 0
+        active = idx[alive]
+        cells = p2c[active].copy()
+
+        result = MoveResult()
+        removed_parts: List[np.ndarray] = []
+        foreign_parts: List[np.ndarray] = []
+        foreign_cells: List[np.ndarray] = []
+        total_hops = 0
+        max_coll = 0
+        hop = 0
+
+        while active.size:
+            if hop >= loop.max_hops:
+                raise RuntimeError(
+                    f"{active.size} particles exceeded {loop.max_hops} hops "
+                    f"in move loop {loop.name!r}")
+            if foreign is not None:
+                fmask = foreign[cells]
+                if fmask.any():
+                    stopped = active[fmask]
+                    p2c[stopped] = cells[fmask]
+                    foreign_parts.append(stopped)
+                    foreign_cells.append(cells[fmask])
+                    active = active[~fmask]
+                    cells = cells[~fmask]
+                    if active.size == 0:
+                        break
+
+            params: List[np.ndarray] = []
+            writeback: List[Tuple[Arg, np.ndarray, np.ndarray]] = []
+            for a in loop.args:
+                if a.is_global:
+                    params.append(a.dat.data.reshape(1, -1))
+                    continue
+                rows = a.gather_indices(active, cells)
+                if a.access in (AccessMode.READ, AccessMode.RW):
+                    buf = a.dat.data[rows]
+                else:
+                    buf = np.zeros((active.size, a.dat.dim), dtype=a.dat.dtype)
+                params.append(buf)
+                if a.access.writes:
+                    writeback.append((a, buf, rows))
+
+            mctx = VecMoveContext(cells, c2c[cells], hop)
+            with np.errstate(invalid="ignore", divide="ignore",
+                             over="ignore"):
+                gen.fn(mctx, *params)
+            total_hops += active.size
+
+            for a, buf, rows in writeback:
+                if a.access is AccessMode.INC:
+                    if a.kind == ArgKind.DIRECT:
+                        a.dat.data[rows] += buf   # particle rows are unique
+                    else:
+                        coll = self.strategy.apply(a.dat.data, rows, buf)
+                        max_coll = max(max_coll, coll)
+                else:
+                    a.dat.data[rows] = buf
+
+            status = mctx.status
+            done = status == int(MoveStatus.MOVE_DONE)
+            gone = status == int(MoveStatus.NEED_REMOVE)
+            moving = status == int(MoveStatus.NEED_MOVE)
+
+            p2c[active[done]] = cells[done]
+            if gone.any():
+                dead = active[gone]
+                p2c[dead] = -1
+                removed_parts.append(dead)
+            active = active[moving]
+            cells = mctx.next_cell[moving]
+            hop += 1
+
+        result.total_hops = total_hops
+        result.max_collisions = max_coll
+        result.foreign_particles = (np.concatenate(foreign_parts)
+                                    if foreign_parts
+                                    else np.empty(0, dtype=np.int64))
+        result.foreign_cells = (np.concatenate(foreign_cells)
+                                if foreign_cells
+                                else np.empty(0, dtype=np.int64))
+        removed = (np.concatenate(removed_parts) if removed_parts
+                   else np.empty(0, dtype=np.int64))
+        result.n_removed = int(removed.size)
+        if removed.size and not loop.defer_removal:
+            loop.pset.remove_particles(removed)
+        else:
+            result.removed_indices = removed
+        return result

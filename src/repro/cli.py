@@ -1,0 +1,204 @@
+"""Command-line interface.
+
+The paper's artifact runs applications as ``<app_binary> <config_file>``;
+the equivalent here::
+
+    python -m repro fempic [config.cfg] [--steps N] [--backend vec] ...
+    python -m repro cabana [config.cfg] [--ppc N] ...
+    python -m repro mesh --nx 4 --ny 4 --nz 12 --out duct.dat
+
+Config files use the OP-PIC key=value format (see
+:mod:`repro.util.config`); command-line flags override file values.
+"""
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="OP-PIC reproduction applications")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fp = sub.add_parser("fempic", help="run Mini-FEM-PIC")
+    fp.add_argument("config", nargs="?", help="key=value config file")
+    fp.add_argument("--steps", type=int, default=None)
+    fp.add_argument("--backend", default=None,
+                    choices=["seq", "vec", "omp", "cuda", "hip", "xe"])
+    fp.add_argument("--move", default=None, choices=["mh", "dh"])
+    fp.add_argument("--mesh-file", default=None)
+    fp.add_argument("--vtk", default=None, metavar="DIR",
+                    help="write mesh+particle VTK files here at the end")
+    fp.add_argument("--quiet", action="store_true")
+
+    cb = sub.add_parser("cabana", help="run CabanaPIC (two-stream)")
+    cb.add_argument("config", nargs="?", help="key=value config file")
+    cb.add_argument("--steps", type=int, default=None)
+    cb.add_argument("--ppc", type=int, default=None)
+    cb.add_argument("--backend", default=None,
+                    choices=["seq", "vec", "omp", "cuda", "hip", "xe"])
+    cb.add_argument("--pusher", default=None,
+                    choices=["boris", "velocity_verlet", "vay",
+                             "higuera_cary"])
+    cb.add_argument("--validate", action="store_true",
+                    help="also run the structured reference and compare")
+    cb.add_argument("--quiet", action="store_true")
+
+    ad = sub.add_parser("advec", help="run the advection mini-app")
+    ad.add_argument("config", nargs="?", help="key=value config file")
+    ad.add_argument("--steps", type=int, default=None)
+    ad.add_argument("--flow", default=None,
+                    choices=["uniform", "rotation"])
+    ad.add_argument("--quiet", action="store_true")
+
+    td = sub.add_parser("twod", help="run the 2-D sheet model")
+    td.add_argument("config", nargs="?", help="key=value config file")
+    td.add_argument("--steps", type=int, default=None)
+    td.add_argument("--quiet", action="store_true")
+
+    ms = sub.add_parser("mesh", help="generate a duct mesh file")
+    ms.add_argument("--nx", type=int, default=4)
+    ms.add_argument("--ny", type=int, default=4)
+    ms.add_argument("--nz", type=int, default=12)
+    ms.add_argument("--lx", type=float, default=1.0)
+    ms.add_argument("--ly", type=float, default=1.0)
+    ms.add_argument("--lz", type=float, default=4.0)
+    ms.add_argument("--out", required=True,
+                    help="output path (.dat or .npz)")
+    return parser
+
+
+def _overlay(cfg, args, fields) -> object:
+    from repro.util import apply_to_dataclass, load_config
+    if getattr(args, "config", None):
+        cfg = apply_to_dataclass(load_config(args.config), cfg)
+    overrides = {dst: getattr(args, src)
+                 for src, dst in fields.items()
+                 if getattr(args, src, None) is not None}
+    return cfg.scaled(**overrides) if overrides else cfg
+
+
+def _run_fempic(args) -> int:
+    from repro.apps.fempic import FemPicConfig, FemPicSimulation
+    cfg = _overlay(FemPicConfig(), args,
+                   {"steps": "n_steps", "backend": "backend",
+                    "move": "move_strategy", "mesh_file": "mesh_file"})
+    sim = FemPicSimulation(cfg)
+    sim.run()
+    if not args.quiet:
+        h = sim.history
+        print(f"Mini-FEM-PIC: {sim.mesh.n_cells} cells, "
+              f"{cfg.n_steps} steps, move={cfg.move_strategy}, "
+              f"backend={cfg.backend}")
+        print(f"final: {h['n_particles'][-1]} ions, field energy "
+              f"{h['field_energy'][-1]:.6g}")
+        print(sim.ctx.perf.report())
+    if args.vtk:
+        from repro.util.vtk import write_vtk_mesh, write_vtk_particles
+        out = Path(args.vtk)
+        out.mkdir(parents=True, exist_ok=True)
+        write_vtk_mesh(out / "fempic_mesh.vtk", sim.mesh.points,
+                       sim.mesh.cell2node,
+                       cell_data={"electric_field": sim.ef.data},
+                       point_data={"potential": sim.phi.data,
+                                   "charge_density": sim.ncd.data})
+        write_vtk_particles(out / "fempic_ions.vtk",
+                            sim.pos.data[: sim.parts.size],
+                            fields={"velocity":
+                                    sim.vel.data[: sim.parts.size]})
+        if not args.quiet:
+            print(f"VTK written to {out}/")
+    return 0
+
+
+def _run_cabana(args) -> int:
+    from repro.apps.cabana import (CabanaConfig, CabanaSimulation,
+                                   StructuredCabanaReference)
+    cfg = _overlay(CabanaConfig(), args,
+                   {"steps": "n_steps", "ppc": "ppc",
+                    "backend": "backend", "pusher": "pusher"})
+    sim = CabanaSimulation(cfg)
+    sim.run()
+    if not args.quiet:
+        print(f"CabanaPIC: {cfg.n_cells} cells, {cfg.n_particles} "
+              f"particles, {cfg.n_steps} steps, pusher={cfg.pusher}, "
+              f"backend={cfg.backend}")
+        print(f"final E-field energy {sim.history['e_energy'][-1]:.6e}")
+        print(sim.ctx.perf.report())
+    if args.validate:
+        import numpy as np
+        ref = StructuredCabanaReference(cfg)
+        ref.run()
+        err = (np.abs(np.array(sim.history["e_energy"])
+                      - np.array(ref.history["e_energy"])).max()
+               / max(ref.history["e_energy"]))
+        print(f"validation vs structured original: max relative E-energy "
+              f"error {err:.2e}")
+        if err > 1e-12:
+            print("VALIDATION FAILED", file=sys.stderr)
+            return 1
+    return 0
+
+
+def _run_advec(args) -> int:
+    import numpy as np
+
+    from repro.apps.advec import AdvecConfig, AdvecSimulation
+    cfg = _overlay(AdvecConfig(), args, {"steps": "n_steps",
+                                         "flow": "flow"})
+    sim = AdvecSimulation(cfg)
+    start = sim.positions_xy().copy()
+    sim.run()
+    if not args.quiet:
+        drift = np.abs(sim.positions_xy() - start).mean()
+        move = sim.ctx.perf.get("Advect")
+        print(f"advection: {cfg.n_particles} tracers, {cfg.n_steps} "
+              f"steps, flow={cfg.flow}")
+        print(f"mean displacement {drift:.4f}; {move.hops} hops "
+              f"({move.hops / max(move.n_total, 1):.2f} per "
+              "particle-step)")
+    return 0
+
+
+def _run_twod(args) -> int:
+    from repro.apps.twod import TwoDConfig, TwoDSheetModel
+    cfg = _overlay(TwoDConfig(), args, {"steps": "n_steps"})
+    sim = TwoDSheetModel(cfg)
+    sim.run()
+    if not args.quiet:
+        e = sim.history["field_energy"]
+        print(f"2-D sheet model: {cfg.n_particles} electrons on "
+              f"{cfg.n_cells} triangles, ωp = {cfg.plasma_frequency:.3f}")
+        print(f"field energy first/min/max: {e[0]:.3e} / {min(e):.3e} "
+              f"/ {max(e):.3e}")
+    return 0
+
+
+def _run_mesh(args) -> int:
+    from repro.mesh import duct_mesh, save_mesh
+    mesh = duct_mesh(args.nx, args.ny, args.nz, args.lx, args.ly, args.lz)
+    path = save_mesh(mesh, args.out)
+    print(f"wrote {mesh.n_cells} cells / {mesh.n_nodes} nodes to {path}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "fempic":
+        return _run_fempic(args)
+    if args.command == "cabana":
+        return _run_cabana(args)
+    if args.command == "advec":
+        return _run_advec(args)
+    if args.command == "twod":
+        return _run_twod(args)
+    return _run_mesh(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

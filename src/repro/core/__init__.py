@@ -1,0 +1,5 @@
+"""Core of the OP-PIC DSL: sets, dats, maps, args, loops, particle move."""
+from .api import *  # noqa: F401,F403
+from .api import __all__ as _api_all
+
+__all__ = list(_api_all)

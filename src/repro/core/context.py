@@ -1,0 +1,71 @@
+"""Execution context: backend selection and instrumentation hooks.
+
+OP-PIC selects a parallelisation at code-generation/compile time; here the
+active backend is a property of the :class:`Context`.  A context also owns
+the performance recorder that the benchmark harness uses to reproduce the
+paper's per-kernel runtime breakdowns and rooflines.
+"""
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["Context", "get_context", "set_backend", "push_context"]
+
+
+class Context:
+    """Holds the active backend instance and the perf recorder."""
+
+    def __init__(self, backend: str = "seq", **backend_options):
+        from ..backends import make_backend
+        self.backend_name = backend
+        self.backend = make_backend(backend, **backend_options)
+        from ..perf.timers import PerfRecorder
+        self.perf: PerfRecorder = PerfRecorder()
+
+    def set_backend(self, backend: str, **backend_options) -> None:
+        from ..backends import make_backend
+        self.backend_name = backend
+        self.backend = make_backend(backend, **backend_options)
+
+    def __repr__(self) -> str:
+        return f"<Context backend={self.backend_name!r}>"
+
+
+_current: Optional[Context] = None
+
+
+def get_context() -> Context:
+    """The process-wide context (created lazily with the ``seq`` backend)."""
+    global _current
+    if _current is None:
+        _current = Context()
+    return _current
+
+
+def set_backend(backend: str, **backend_options) -> Context:
+    """Switch the global context's backend; returns the context."""
+    ctx = get_context()
+    ctx.set_backend(backend, **backend_options)
+    return ctx
+
+
+class push_context:
+    """Context manager that temporarily installs a fresh :class:`Context`.
+
+    Used by tests and by the distributed runtime (each simulated rank runs
+    loops under its own context so perf numbers stay per-rank).
+    """
+
+    def __init__(self, ctx: Context):
+        self.ctx = ctx
+        self._saved: Optional[Context] = None
+
+    def __enter__(self) -> Context:
+        global _current
+        self._saved = _current
+        _current = self.ctx
+        return self.ctx
+
+    def __exit__(self, *exc) -> None:
+        global _current
+        _current = self._saved

@@ -1,0 +1,127 @@
+"""Elemental kernels — the "science source" of an OP-PIC application.
+
+A :class:`Kernel` wraps a plain Python function written against *one*
+element's data (each parameter is a small 1-D view).  The same function is
+
+* executed per-element by the sequential reference backend, and
+* parsed (``ast``) and translated into vectorised NumPy source by
+  :mod:`repro.translator` for the high-performance backends —
+  the Python analogue of OP-PIC's clang-based source-to-source translator.
+
+Kernels may read global constants registered with
+:func:`repro.core.api.decl_const` through the ``CONST`` namespace object.
+"""
+from __future__ import annotations
+
+import inspect
+import textwrap
+from typing import Callable, Optional
+
+__all__ = ["Kernel", "ConstRegistry", "CONST"]
+
+
+class ConstRegistry:
+    """Named simulation constants (``opp_decl_const``).
+
+    Attribute access inside kernels (``CONST.dt``) works both element-wise
+    and in generated vector code, since constants are scalars that broadcast.
+    """
+
+    def __init__(self):
+        object.__setattr__(self, "_values", {})
+
+    def declare(self, name: str, value) -> None:
+        self._values[name] = value
+
+    def __getattr__(self, name: str):
+        try:
+            return self._values[name]
+        except KeyError:
+            raise AttributeError(f"undeclared constant {name!r}; call "
+                                 "decl_const first") from None
+
+    def __setattr__(self, name: str, value) -> None:
+        self._values[name] = value
+
+    def clear(self) -> None:
+        self._values.clear()
+
+    def snapshot(self) -> dict:
+        return dict(self._values)
+
+
+#: Process-wide constant registry used by application kernels.
+CONST = ConstRegistry()
+
+
+class Kernel:
+    """A named elemental kernel plus lazily-built translation artefacts."""
+
+    def __init__(self, fn: Callable, name: Optional[str] = None):
+        if not callable(fn):
+            raise TypeError("kernel must wrap a callable")
+        self.fn = fn
+        self.name = name or fn.__name__
+        self._source: Optional[str] = None
+        self._ir = None          # filled by translator.parser on demand
+        self._generated = {}     # backend-name -> compiled vector function
+        self.flops_per_elem: Optional[float] = None  # set from IR op counts
+
+    @property
+    def source(self) -> str:
+        if self._source is None:
+            try:
+                self._source = textwrap.dedent(inspect.getsource(self.fn))
+            except (OSError, TypeError) as exc:
+                raise RuntimeError(
+                    f"cannot retrieve source of kernel {self.name!r}; the "
+                    "translator needs the function defined in a file") from exc
+        return self._source
+
+    @property
+    def param_names(self):
+        return list(inspect.signature(self.fn).parameters)
+
+    def ir(self):
+        """Parse (once) and return the translator IR for this kernel."""
+        if self._ir is None:
+            from ..translator.parser import parse_kernel
+            self._ir = parse_kernel(self)
+            self.flops_per_elem = self._ir.flop_count
+        return self._ir
+
+    def branch_count(self) -> float:
+        """Divergent-branch weight of the (unrolled) kernel body — feeds
+        the GPU warp-divergence term of the performance model.  Full
+        ``if`` statements count 1 (both paths execute under SIMT
+        predication); conditional expressions count 0.5 (they lower to a
+        select)."""
+        try:
+            ir = self.ir()
+        except Exception:
+            return 0.0
+        import ast
+        module = ast.Module(body=ir.unrolled_body, type_ignores=[])
+        full = sum(isinstance(n, ast.If) for n in ast.walk(module))
+        sel = sum(isinstance(n, ast.IfExp) for n in ast.walk(module))
+        return full + 0.5 * sel
+
+    def generated(self, target: str):
+        """Return (building on demand) the generated vector function."""
+        if target not in self._generated:
+            from ..translator.codegen import generate
+            self._generated[target] = generate(self, target)
+        return self._generated[target]
+
+    def __call__(self, *args, **kwargs):
+        return self.fn(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        return f"<Kernel {self.name!r}>"
+
+
+def as_kernel(fn_or_kernel) -> Kernel:
+    """Coerce a plain function into a :class:`Kernel` (idempotent)."""
+    if isinstance(fn_or_kernel, Kernel):
+        return fn_or_kernel
+    return Kernel(fn_or_kernel)

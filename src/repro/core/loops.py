@@ -1,0 +1,136 @@
+"""Parallel-loop declaration and dispatch (``opp_par_loop``).
+
+A :class:`ParLoop` is the backend-independent description of one loop:
+kernel + iteration set + argument descriptors.  Executing it asks the
+active backend (sequential reference, generated-vector, simulated OpenMP
+or simulated GPU device) to run it, and records per-kernel performance
+counters used by the roofline/breakdown benchmarks.
+"""
+from __future__ import annotations
+
+import time
+from typing import List, Sequence
+
+import numpy as np
+
+from .args import Arg, ArgKind
+from .context import get_context
+from .kernel import Kernel, as_kernel
+from .sets import ParticleSet, Set
+from .types import AccessMode, IterateType
+
+__all__ = ["ParLoop", "par_loop"]
+
+
+class ParLoop:
+    """Backend-independent description of a parallel loop over a set."""
+
+    def __init__(self, kernel: Kernel, name: str, iterset: Set,
+                 iterate_type: IterateType, args: Sequence[Arg]):
+        self.kernel = as_kernel(kernel)
+        self.name = name
+        self.iterset = iterset
+        self.iterate_type = iterate_type
+        self.args: List[Arg] = list(args)
+        if (iterate_type is IterateType.INJECTED
+                and not isinstance(iterset, ParticleSet)):
+            raise TypeError("OPP_ITERATE_INJECTED only applies to particle "
+                            "sets")
+        for a in self.args:
+            a.validate_against(iterset)
+
+    # -- iteration domain ------------------------------------------------------
+
+    @property
+    def start(self) -> int:
+        if self.iterate_type is IterateType.INJECTED:
+            return self.iterset.injected_start
+        return 0
+
+    @property
+    def end(self) -> int:
+        # owner-compute: halo elements are updated by exchanges, not
+        # loops — except that loops incrementing through a mapping also
+        # run redundantly over the exec halo (paper §3.2.1: "data races
+        # ... are handled with redundant computations over MPI halos"),
+        # which completes every owned target element locally
+        if self.has_indirect_inc and self.iterset.exec_halo_size:
+            return min(self.iterset.owned_size
+                       + self.iterset.exec_halo_size, self.iterset.size)
+        return self.iterset.owned_size
+
+    @property
+    def n_iter(self) -> int:
+        return max(self.end - self.start, 0)
+
+    def iter_indices(self) -> np.ndarray:
+        return np.arange(self.start, self.end, dtype=np.int64)
+
+    # -- race analysis ---------------------------------------------------------
+
+    @property
+    def has_indirect_inc(self) -> bool:
+        """True when some argument increments data through a mapping —
+        the pattern that requires scatter arrays / atomics / segmented
+        reductions."""
+        return any(a.is_indirect and a.access is AccessMode.INC
+                   for a in self.args)
+
+    @property
+    def indirect_inc_args(self) -> List[Arg]:
+        return [a for a in self.args
+                if a.is_indirect and a.access is AccessMode.INC]
+
+    # -- data-movement model ---------------------------------------------------
+
+    def bytes_moved(self) -> int:
+        """Modelled bytes transferred per execution (paper's counter model:
+        each argument streams ``n*dim*itemsize`` once per direction)."""
+        n = self.n_iter
+        total = 0
+        for a in self.args:
+            if a.is_global:
+                continue
+            per = a.dat.nbytes_per_elem
+            directions = (1 if a.access in (AccessMode.READ, AccessMode.WRITE)
+                          else 2)
+            # indirect addressing additionally streams the map entries
+            if a.kind in (ArgKind.INDIRECT, ArgKind.DOUBLE):
+                total += n * 8
+            if a.kind in (ArgKind.P2C, ArgKind.DOUBLE):
+                total += n * 8
+            total += n * per * directions
+        return total
+
+    def flops(self) -> float:
+        fpe = self.kernel.flops_per_elem
+        if fpe is None:
+            try:
+                self.kernel.ir()
+                fpe = self.kernel.flops_per_elem
+            except Exception:
+                fpe = 0.0
+        return float(fpe or 0.0) * self.n_iter
+
+    def __repr__(self) -> str:
+        return (f"<ParLoop {self.name!r} over {self.iterset.name!r} "
+                f"n={self.n_iter} args={len(self.args)}>")
+
+
+def par_loop(kernel, name: str, iterset: Set, iterate_type: IterateType,
+             *args: Arg) -> None:
+    """Declare-and-execute a parallel loop (the ``opp_par_loop`` call).
+
+    The loop runs on whatever backend the active context holds; the calling
+    code is identical for all of them — that is the DSL's separation of
+    concerns.
+    """
+    loop = ParLoop(kernel, name, iterset, iterate_type, args)
+    ctx = get_context()
+    t0 = time.perf_counter()
+    extras = ctx.backend.execute(loop) or {}
+    dt = time.perf_counter() - t0
+    extras.setdefault("branches", loop.kernel.branch_count())
+    ctx.perf.record_loop(loop.name, n=loop.n_iter, seconds=dt,
+                         flops=loop.flops(), nbytes=loop.bytes_moved(),
+                         indirect_inc=loop.has_indirect_inc, **extras)

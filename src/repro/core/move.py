@@ -1,0 +1,184 @@
+"""The particle-move loop (``opp_particle_move``).
+
+Moving particles is *the* special operation of a PIC DSL: each particle
+walks cell-to-cell through the unstructured mesh until it finds the cell
+containing its new position (multi-hop), possibly depositing current into
+every cell it crosses (electromagnetic codes), possibly leaving the domain
+(removal), possibly crossing onto another MPI rank (migration).
+
+The elemental move kernel receives a :class:`MoveContext` as its first
+parameter and must finish each hop by calling exactly one of
+
+* ``move.done()``                 — OPP_PARTICLE_MOVE_DONE
+* ``move.move_to(next_cell)``     — OPP_PARTICLE_NEED_MOVE
+* ``move.remove()``               — OPP_PARTICLE_NEED_REMOVE
+
+``move.c2c`` exposes the current cell's neighbour row so kernels can pick
+the next probable cell; ``move.move_to(-1)`` is treated as leaving the
+domain.
+"""
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .args import Arg
+from .context import get_context
+from .kernel import Kernel, as_kernel
+from .maps import Map
+from .sets import ParticleSet
+from .types import AccessMode, MoveStatus
+
+__all__ = ["MoveContext", "MoveLoop", "particle_move", "MoveResult"]
+
+#: Safety bound on hops per particle per move call; a well-posed PIC step
+#: moves particles at most a few cells, so hitting this indicates a bug.
+DEFAULT_MAX_HOPS = 1000
+
+
+class MoveContext:
+    """Per-hop control object handed to elemental move kernels."""
+
+    __slots__ = ("status", "next_cell", "cell", "c2c", "hop")
+
+    def __init__(self):
+        self.status = MoveStatus.MOVE_DONE
+        self.next_cell = -1
+        self.cell = -1          # current cell index (read-only for kernels)
+        self.c2c = None         # current cell's neighbour row (read-only)
+        self.hop = 0            # hop number within this move (0 = first)
+
+    def reset(self, cell: int, c2c_row, hop: int) -> None:
+        self.status = MoveStatus.MOVE_DONE
+        self.next_cell = -1
+        self.cell = cell
+        self.c2c = c2c_row
+        self.hop = hop
+
+    def done(self) -> None:
+        self.status = MoveStatus.MOVE_DONE
+
+    def move_to(self, next_cell: int) -> None:
+        if next_cell < 0:
+            self.status = MoveStatus.NEED_REMOVE
+        else:
+            self.status = MoveStatus.NEED_MOVE
+            self.next_cell = int(next_cell)
+
+    def remove(self) -> None:
+        self.status = MoveStatus.NEED_REMOVE
+
+
+class MoveResult:
+    """Outcome of one (rank-local) particle-move execution."""
+
+    def __init__(self):
+        #: particle indices that stopped in a foreign (halo/off-rank) cell
+        self.foreign_particles: np.ndarray = np.empty(0, dtype=np.int64)
+        #: the foreign cell each such particle stopped in (local index)
+        self.foreign_cells: np.ndarray = np.empty(0, dtype=np.int64)
+        #: number of particles removed (left the domain)
+        self.n_removed: int = 0
+        #: indices of removed particles when the loop defers deletion
+        self.removed_indices: np.ndarray = np.empty(0, dtype=np.int64)
+        #: total hops performed (for the hop-count performance model)
+        self.total_hops: int = 0
+        #: worst per-hop collision depth on indirect-INC scatters
+        self.max_collisions: int = 0
+
+    @property
+    def n_foreign(self) -> int:
+        return int(self.foreign_particles.size)
+
+
+class MoveLoop:
+    """Backend-independent description of a particle-move loop."""
+
+    def __init__(self, kernel: Kernel, name: str, pset: ParticleSet,
+                 c2c_map: Map, p2c_map: Map, args: Sequence[Arg],
+                 max_hops: int = DEFAULT_MAX_HOPS,
+                 only_indices: Optional[np.ndarray] = None):
+        self.kernel = as_kernel(kernel)
+        self.name = name
+        self.pset = pset
+        self.c2c_map = c2c_map
+        self.p2c_map = p2c_map
+        self.args: List[Arg] = list(args)
+        self.max_hops = int(max_hops)
+        #: restrict the move to these particle indices (used when resuming
+        #: the move for particles just received from another rank)
+        self.only_indices = only_indices
+        #: boolean mask over cells marking halo/foreign cells; particles
+        #: entering such a cell pause for migration (set by the runtime)
+        self.foreign_cell_mask: Optional[np.ndarray] = None
+        #: if set, particles finishing in a removed state are *not* deleted
+        #: by the backend (the runtime batches deletion with migration)
+        self.defer_removal = False
+
+        if not isinstance(pset, ParticleSet):
+            raise TypeError("particle_move iterates a ParticleSet")
+        if c2c_map.from_set is not pset.cells_set or \
+                c2c_map.to_set is not pset.cells_set:
+            raise ValueError("c2c map must be a cell-to-cell neighbour map")
+        if not p2c_map.is_particle_map or p2c_map.from_set is not pset:
+            raise ValueError("p2c map must be the particle set's "
+                             "particle-to-cell map")
+        for a in self.args:
+            a.validate_against(pset)
+            if a.access is AccessMode.WRITE and a.is_indirect:
+                raise ValueError("indirect WRITE inside a move kernel is "
+                                 "racy; use OPP_INC")
+            if a.is_global and a.access is not AccessMode.READ:
+                raise ValueError("global reductions inside a move kernel "
+                                 "are not supported; reduce in a separate "
+                                 "opp_par_loop after the move")
+
+    def iter_indices(self) -> np.ndarray:
+        if self.only_indices is not None:
+            return np.asarray(self.only_indices, dtype=np.int64)
+        return np.arange(self.pset.size, dtype=np.int64)
+
+    def bytes_per_hop(self) -> int:
+        total = 8 + 8 * self.c2c_map.arity   # p2c read + c2c row
+        for a in self.args:
+            if a.is_global:
+                continue
+            per = a.dat.nbytes_per_elem
+            total += per * (1 if a.access in (AccessMode.READ,
+                                              AccessMode.WRITE) else 2)
+        return total
+
+    def __repr__(self) -> str:
+        return f"<MoveLoop {self.name!r} over {self.pset.name!r}>"
+
+
+def particle_move(kernel, name: str, pset: ParticleSet, c2c_map: Map,
+                  p2c_map: Map, *args: Arg,
+                  max_hops: int = DEFAULT_MAX_HOPS) -> MoveResult:
+    """Declare-and-execute a particle move (the ``opp_particle_move`` call).
+
+    On a single rank this fully relocates every particle (multi-hop walk)
+    and deletes the ones that leave the domain.  Under the distributed
+    runtime the same call additionally migrates particles between ranks;
+    application code does not change.
+    """
+    loop = MoveLoop(kernel, name, pset, c2c_map, p2c_map, args,
+                    max_hops=max_hops)
+    ctx = get_context()
+    t0 = time.perf_counter()
+    result = ctx.backend.execute_move(loop)
+    dt = time.perf_counter() - t0
+    n = loop.pset.size
+    fpe = loop.kernel.flops_per_elem or 0.0
+    ctx.perf.record_loop(name, n=n, seconds=dt,
+                         flops=fpe * result.total_hops,
+                         nbytes=loop.bytes_per_hop() * result.total_hops,
+                         indirect_inc=any(a.is_indirect and
+                                          a.access is AccessMode.INC
+                                          for a in loop.args),
+                         hops=result.total_hops, is_move=True,
+                         collisions=result.max_collisions,
+                         branches=loop.kernel.branch_count())
+    return result

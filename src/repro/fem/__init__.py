@@ -1,0 +1,8 @@
+"""FEM substrate: P1 assembly and KSP-style solvers (PETSc substitute)."""
+from .assembly import DirichletSystem, build_stiffness, lumped_node_volumes
+from .solver import KSPResult, KSPSolver, jacobi_preconditioner, \
+    ssor_preconditioner
+
+__all__ = ["DirichletSystem", "build_stiffness", "lumped_node_volumes",
+           "KSPSolver", "KSPResult", "jacobi_preconditioner",
+           "ssor_preconditioner"]

@@ -1,0 +1,97 @@
+"""P1 finite-element assembly on tetrahedral meshes.
+
+Mini-FEM-PIC solves a nonlinear Poisson problem for the plasma potential
+(ions as particles, Boltzmann electrons)::
+
+    -∇²φ = (ρ_ion - ρ0 · exp((φ - φ0)/kTe)) / ε0
+
+with Dirichlet conditions on the duct inlet and wall.  Each Newton step
+assembles a Jacobian (``ComputeJMatrix``) and residual
+(``ComputeF1Vector``) and solves with a KSP-style CG
+(:mod:`repro.fem.solver`).  The stiffness matrix is static (the mesh never
+changes) and assembled once here.
+"""
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..mesh.geometry import p1_gradients
+
+__all__ = ["build_stiffness", "lumped_node_volumes", "DirichletSystem"]
+
+
+def build_stiffness(points: np.ndarray, cells: np.ndarray) -> sp.csr_matrix:
+    """Assemble the P1 stiffness matrix ``K_ij = Σ_c V_c ∇λ_i·∇λ_j``."""
+    grads, vols = p1_gradients(points, cells)
+    ncells = cells.shape[0]
+    # local 4x4 blocks, all cells at once
+    local = np.einsum("cid,cjd->cij", grads, grads) * vols[:, None, None]
+    rows = np.repeat(cells, 4, axis=1).reshape(ncells, 4, 4)
+    cols = np.tile(cells[:, None, :], (1, 4, 1))
+    k = sp.coo_matrix((local.ravel(), (rows.ravel(), cols.ravel())),
+                      shape=(points.shape[0], points.shape[0]))
+    return k.tocsr()
+
+
+def lumped_node_volumes(points: np.ndarray, cells: np.ndarray) -> np.ndarray:
+    """Lumped mass per node: a quarter of each adjacent tet's volume.
+
+    Converts node charge (Coulombs) to node charge *density* and weights
+    the Boltzmann-electron term in the Jacobian.
+    """
+    _, vols = p1_gradients(points, cells)
+    out = np.zeros(points.shape[0])
+    np.add.at(out, cells.ravel(), np.repeat(vols / 4.0, 4))
+    return out
+
+
+class DirichletSystem:
+    """A linear system with Dirichlet rows eliminated.
+
+    Fixes ``x[nodes_d] = values_d`` and solves the reduced system on the
+    free nodes only — the standard strong-BC treatment, matching the
+    mini-app's fixed inlet/wall potentials.
+    """
+
+    def __init__(self, k: sp.csr_matrix, dirichlet_nodes: Sequence[int],
+                 dirichlet_values: np.ndarray):
+        n = k.shape[0]
+        dn = np.asarray(dirichlet_nodes, dtype=np.int64)
+        if dn.size != np.unique(dn).size:
+            raise ValueError("duplicate Dirichlet nodes")
+        self.n = n
+        self.dirichlet_nodes = dn
+        self.dirichlet_values = np.asarray(dirichlet_values, dtype=np.float64)
+        if self.dirichlet_values.shape != dn.shape:
+            raise ValueError("one Dirichlet value per constrained node")
+        free = np.ones(n, dtype=bool)
+        free[dn] = False
+        self.free = np.flatnonzero(free)
+        self.k_full = k
+        self.k_ff = k[self.free][:, self.free].tocsr()
+        self.k_fd = k[self.free][:, dn].tocsr()
+
+    def full_vector(self, x_free: np.ndarray) -> np.ndarray:
+        out = np.empty(self.n)
+        out[self.free] = x_free
+        out[self.dirichlet_nodes] = self.dirichlet_values
+        return out
+
+    def reduce_rhs(self, b: np.ndarray) -> np.ndarray:
+        """RHS on free nodes, with the Dirichlet coupling moved over."""
+        return b[self.free] - self.k_fd @ self.dirichlet_values
+
+    def residual(self, x_full: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Free-node residual ``(K x - b)|_free`` of the full system."""
+        return (self.k_full @ x_full - b)[self.free]
+
+
+def element_dofs(cells: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Row/col index arrays for scattering 4x4 element blocks (test aid)."""
+    ncells = cells.shape[0]
+    rows = np.repeat(cells, 4, axis=1).reshape(ncells, 4, 4)
+    cols = np.tile(cells[:, None, :], (1, 4, 1))
+    return rows, cols

@@ -1,0 +1,13 @@
+"""Field-solve substrate: FDTD checks and plasma theory references."""
+from .collisions import (MCCIonization, MCCollisions,
+                         elastic_scatter_kernel, ionize_kernel)
+from .diagnostics import VelocityMoments
+from .fdtd import seed_standing_wave, vacuum_cavity_energy_series
+from .theory import (fastest_growing_mode, fit_exponential_rate,
+                     plasma_frequency, two_stream_growth_rate)
+
+__all__ = ["MCCollisions", "MCCIonization", "elastic_scatter_kernel",
+           "ionize_kernel", "VelocityMoments",
+           "seed_standing_wave", "vacuum_cavity_energy_series",
+           "plasma_frequency", "two_stream_growth_rate",
+           "fastest_growing_mode", "fit_exponential_rate"]

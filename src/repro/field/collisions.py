@@ -1,0 +1,202 @@
+"""Monte-Carlo collisions with a neutral background (MCC).
+
+Paper §2: state-of-the-art PIC implementations interleave "additional
+routines, including particle collisions, ionizations and particle
+injections" with the core loop.  This module provides the collision
+routine in the DSL style used throughout: randomness is drawn host-side
+into a scratch particle dat (like the injection distributions), and a
+translated elemental kernel applies the physics.
+
+Model: null-collision MCC against a cold, infinitely heavy neutral
+background with constant collision frequency ν — each step a particle
+scatters with probability ``1 - exp(-ν Δt)`` into an isotropic direction,
+preserving its speed (elastic, heavy-target limit).
+"""
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..core.api import (CONST, OPP_ITERATE_ALL, OPP_READ, OPP_RW, arg_dat,
+                        decl_const, decl_dat, par_loop)
+from ..core.dats import Dat
+from ..core.sets import ParticleSet
+
+__all__ = ["elastic_scatter_kernel", "MCCollisions", "ionize_kernel",
+           "MCCIonization"]
+
+
+def elastic_scatter_kernel(rand, vel):
+    """Isotropic elastic scattering, speed preserving.
+
+    ``rand`` carries (collision draw, cosθ draw, φ draw) prepared
+    host-side; a particle whose first draw falls under the collision
+    probability leaves with the same speed in a uniformly random
+    direction.
+    """
+    if rand[0] < CONST.coll_prob:
+        speed = sqrt(vel[0] * vel[0] + vel[1] * vel[1]  # noqa: F821
+                     + vel[2] * vel[2])
+        ct = 2.0 * rand[1] - 1.0
+        st = sqrt(1.0 - ct * ct)                        # noqa: F821
+        phi = CONST.two_pi * rand[2]
+        vel[0] = speed * st * cos(phi)                  # noqa: F821
+        vel[1] = speed * st * sin(phi)                  # noqa: F821
+        vel[2] = speed * ct
+
+
+class MCCollisions:
+    """Collision operator attached to a particle set's velocity dat.
+
+    Parameters
+    ----------
+    pset:
+        The particle set.
+    vel:
+        Its dim-3 velocity dat.
+    frequency:
+        Collision frequency ν (collisions per unit time per particle).
+    dt:
+        Time-step length.
+    seed:
+        RNG seed for the host-side draws.
+    """
+
+    def __init__(self, pset: ParticleSet, vel: Dat, frequency: float,
+                 dt: float, seed: int = 0,
+                 rng: Optional[np.random.Generator] = None):
+        if vel.set is not pset or vel.dim != 3:
+            raise ValueError("collisions need the particle set's dim-3 "
+                             "velocity dat")
+        if frequency < 0 or dt <= 0:
+            raise ValueError("need frequency >= 0 and dt > 0")
+        self.pset = pset
+        self.vel = vel
+        self.probability = 1.0 - math.exp(-frequency * dt)
+        self.rng = rng or np.random.default_rng(seed)
+        self.rand = decl_dat(pset, 3, np.float64, None, "collision_draws")
+        decl_const("coll_prob", self.probability)
+        decl_const("two_pi", 2.0 * math.pi)
+        self.total_collisions = 0
+
+    def apply(self) -> int:
+        """One collision step; returns the number of particles scattered."""
+        n = self.pset.size
+        if n == 0:
+            return 0
+        # constants may have been redeclared by another operator instance
+        decl_const("coll_prob", self.probability)
+        draws = self.rng.random((n, 3))
+        self.rand.data[:n] = draws
+        par_loop(elastic_scatter_kernel, "CollideParticles", self.pset,
+                 OPP_ITERATE_ALL,
+                 arg_dat(self.rand, OPP_READ),
+                 arg_dat(self.vel, OPP_RW))
+        scattered = int((draws[:, 0] < self.probability).sum())
+        self.total_collisions += scattered
+        return scattered
+
+
+def ionize_kernel(rand, vel, flag):
+    """Mark an ionization event and pay its energy cost.
+
+    A particle whose kinetic energy exceeds the threshold ionizes a
+    background neutral with the configured probability: its speed is
+    rescaled so the ionization energy is removed, and the flag dat marks
+    where the host must spawn the secondary.
+    """
+    flag[0] = 0.0
+    ke = 0.5 * CONST.mcc_mass * (vel[0] * vel[0] + vel[1] * vel[1]
+                                 + vel[2] * vel[2])
+    if ke > CONST.ion_threshold and rand[0] < CONST.ion_prob:
+        scale = sqrt((ke - CONST.ion_cost) / ke)      # noqa: F821
+        vel[0] = vel[0] * scale
+        vel[1] = vel[1] * scale
+        vel[2] = vel[2] * scale
+        flag[0] = 1.0
+
+
+class MCCIonization:
+    """Electron-impact ionization of the neutral background.
+
+    Each step, energetic particles (KE above ``threshold``) ionize with
+    probability ``1 - exp(-ν Δt)``; the parent loses ``energy_cost`` of
+    kinetic energy and a slow secondary is *injected* in the parent's
+    cell (the paper's "ionizations … may be interleaved" routine —
+    this is the DSL-side particle-creation path).
+
+    Parameters
+    ----------
+    pset, vel, p2c:
+        The particle set, its dim-3 velocity dat and its cell map.
+    extra_dats:
+        Other particle dats to copy from parent to secondary
+        (e.g. positions, weights).
+    """
+
+    def __init__(self, pset: ParticleSet, vel: Dat, p2c,
+                 frequency: float, dt: float, threshold: float,
+                 energy_cost: float, mass: float = 1.0, seed: int = 0,
+                 extra_dats=()):
+        if vel.set is not pset or vel.dim != 3:
+            raise ValueError("ionization needs the particle set's dim-3 "
+                             "velocity dat")
+        if not 0.0 < energy_cost <= threshold:
+            raise ValueError("need 0 < energy_cost <= threshold")
+        if frequency < 0 or dt <= 0:
+            raise ValueError("need frequency >= 0 and dt > 0")
+        self.pset = pset
+        self.vel = vel
+        self.p2c = p2c
+        self.mass = float(mass)
+        self.threshold = float(threshold)
+        self.energy_cost = float(energy_cost)
+        self.probability = 1.0 - math.exp(-frequency * dt)
+        self.rng = np.random.default_rng(seed)
+        self.extra_dats = list(extra_dats)
+        self.rand = decl_dat(pset, 1, np.float64, None, "ionize_draws")
+        self.flag = decl_dat(pset, 1, np.float64, None, "ionize_flags")
+        self.total_events = 0
+
+    def apply(self) -> int:
+        """One ionization step; returns the number of secondaries born."""
+        n = self.pset.size
+        if n == 0:
+            return 0
+        decl_const("ion_prob", self.probability)
+        decl_const("ion_threshold", self.threshold)
+        decl_const("ion_cost", self.energy_cost)
+        decl_const("mcc_mass", self.mass)
+        self.rand.data[:n, 0] = self.rng.random(n)
+        par_loop(ionize_kernel, "IonizeParticles", self.pset,
+                 OPP_ITERATE_ALL,
+                 arg_dat(self.rand, OPP_READ),
+                 arg_dat(self.vel, OPP_RW),
+                 arg_dat(self.flag, OPP_RW))
+
+        parents = np.flatnonzero(self.flag.data[:n, 0] > 0.5)
+        if parents.size == 0:
+            return 0
+        cells = self.p2c.p2c[parents].copy()
+        parent_extras = [d.data[parents].copy() for d in self.extra_dats]
+
+        self.pset.begin_injection()
+        sl = self.pset.add_particles(parents.size, cell_indices=cells)
+        # slow isotropic secondaries (born near rest)
+        thermal = self.rng.normal(
+            0.0, math.sqrt(0.01 * self.energy_cost / self.mass),
+            size=(parents.size, 3))
+        self.vel.data[sl] = thermal
+        for dat, values in zip(self.extra_dats, parent_extras):
+            dat.data[sl] = values
+        self.flag.data[sl] = 0.0
+        self.pset.end_injection()
+        self.total_events += parents.size
+        return int(parents.size)
+
+
+# elemental (seq-backend) execution needs the math names in module scope;
+# the translator rebinds them to numpy ufuncs for the vector targets.
+from math import cos, sin, sqrt  # noqa: E402

@@ -1,0 +1,57 @@
+"""Plasma-physics theory helpers for validation.
+
+Used by the physics tests: the cold two-stream instability growth rate
+(checked against CabanaPIC's measured field-energy growth) and basic
+plasma quantities in the normalized unit system (c = eps0 = 1).
+"""
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["plasma_frequency", "two_stream_growth_rate",
+           "fastest_growing_mode", "fit_exponential_rate"]
+
+
+def plasma_frequency(density: float, charge: float = 1.0,
+                     mass: float = 1.0, eps0: float = 1.0) -> float:
+    """ω_p = sqrt(n q² / (ε₀ m))."""
+    if density < 0 or mass <= 0 or eps0 <= 0:
+        raise ValueError("density >= 0 and mass, eps0 > 0 required")
+    return math.sqrt(density * charge * charge / (eps0 * mass))
+
+
+def two_stream_growth_rate(k: float, v0: float, wp: float) -> float:
+    """Cold symmetric two-stream growth rate γ(k) for beams ±v0.
+
+    Dispersion: 1 = wp²/2 [1/(ω-kv0)² + 1/(ω+kv0)²]; the unstable root
+    (for k v0 < √2 wp, per beam plasma frequency wp/√2 each) has
+
+        ω² = k²v0² + wp²/2 − wp/2·sqrt(wp² + 8 k²v0²) < 0
+
+    and γ = Im ω = sqrt(−ω²).  Returns 0 where stable.
+    """
+    kv = k * v0
+    w2 = kv * kv + 0.5 * wp * wp \
+        - 0.5 * wp * math.sqrt(wp * wp + 8.0 * kv * kv)
+    return math.sqrt(-w2) if w2 < 0 else 0.0
+
+
+def fastest_growing_mode(v0: float, wp: float) -> float:
+    """k of the fastest growing mode: k v0 = √(3/8)·wp, γ_max = wp/√8."""
+    return math.sqrt(3.0 / 8.0) * wp / v0
+
+
+def fit_exponential_rate(t: np.ndarray, energy: np.ndarray) -> float:
+    """Least-squares slope of log(energy) — measured 2γ for field energy
+    (energy ∝ |E|² grows at twice the amplitude rate)."""
+    t = np.asarray(t, dtype=np.float64)
+    e = np.asarray(energy, dtype=np.float64)
+    if t.shape != e.shape or t.size < 2:
+        raise ValueError("need matching arrays of at least two samples")
+    if (e <= 0).any():
+        raise ValueError("energies must be positive to fit a log slope")
+    a = np.stack([t, np.ones_like(t)], axis=1)
+    slope, _ = np.linalg.lstsq(a, np.log(e), rcond=None)[0]
+    return float(slope)

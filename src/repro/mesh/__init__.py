@@ -1,0 +1,18 @@
+"""Mesh substrate: generators, geometry and the direct-hop overlay."""
+from .geometry import (barycentric_coords, p1_gradients, points_in_tets,
+                       tet_barycentric_transforms, tet_centroids, tet_volumes)
+from .hex import FACES, STENCIL, HexMesh
+from .io import load_mesh, read_mesh_dat, read_mesh_npz, save_mesh, \
+    write_mesh_dat, write_mesh_npz
+from .overlay import StructuredOverlay
+from .tet import duct_mesh
+from .tri import TriMesh, square_tri_mesh
+from .unstructured import UnstructuredMesh, boundary_faces, build_tet_c2c
+
+__all__ = ["UnstructuredMesh", "HexMesh", "TriMesh", "StructuredOverlay",
+           "duct_mesh", "square_tri_mesh",
+           "save_mesh", "load_mesh", "write_mesh_dat", "read_mesh_dat",
+           "write_mesh_npz", "read_mesh_npz",
+           "build_tet_c2c", "boundary_faces", "tet_volumes", "tet_centroids",
+           "tet_barycentric_transforms", "barycentric_coords",
+           "points_in_tets", "p1_gradients", "STENCIL", "FACES"]

@@ -1,0 +1,92 @@
+"""Geometric primitives for unstructured tetrahedral meshes.
+
+Provides the quantities Mini-FEM-PIC precomputes per cell: volumes,
+centroids, and the affine barycentric transform used both for point
+location during the particle move (walk towards the most negative
+barycentric coordinate) and for charge weighting to nodes.
+
+For a tetrahedron with vertices ``v0..v3`` the barycentric coordinates of
+a point ``x`` are affine: ``λ_i(x) = λ_i(v0) + g_i · (x - v0)`` with
+``λ_{1..3} = A (x - v0)`` and ``λ_0 = 1 - λ_1 - λ_2 - λ_3`` where ``A`` is
+the inverse edge matrix.  We store ``(v0, A)`` as 12 doubles per cell —
+the analogue of the mini-app's "cell determinants" dat.
+"""
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["tet_volumes", "tet_centroids", "tet_barycentric_transforms",
+           "barycentric_coords", "points_in_tets", "p1_gradients"]
+
+
+def tet_volumes(points: np.ndarray, cells: np.ndarray) -> np.ndarray:
+    """Signed volume of each tetrahedron ``(ncells,)``.
+
+    ``points``: (nnodes, 3); ``cells``: (ncells, 4) node indices.
+    """
+    v = points[cells]
+    e1 = v[:, 1] - v[:, 0]
+    e2 = v[:, 2] - v[:, 0]
+    e3 = v[:, 3] - v[:, 0]
+    return np.einsum("ij,ij->i", e1, np.cross(e2, e3)) / 6.0
+
+
+def tet_centroids(points: np.ndarray, cells: np.ndarray) -> np.ndarray:
+    return points[cells].mean(axis=1)
+
+
+def tet_barycentric_transforms(points: np.ndarray,
+                               cells: np.ndarray) -> np.ndarray:
+    """Per-cell affine transform ``(ncells, 12)``: ``[v0 (3), A (9 row-major)]``.
+
+    ``λ_{1..3}(x) = A @ (x - v0)`` — the 12 doubles a move kernel needs to
+    locate a particle within (or relative to) the cell.
+    """
+    v = points[cells]
+    v0 = v[:, 0]
+    edges = np.stack([v[:, 1] - v0, v[:, 2] - v0, v[:, 3] - v0], axis=-1)
+    # edges[i] has columns (v1-v0, v2-v0, v3-v0); λ_{1..3} = edges^{-1} (x-v0)
+    a = np.linalg.inv(edges)
+    out = np.empty((cells.shape[0], 12))
+    out[:, :3] = v0
+    out[:, 3:] = a.reshape(-1, 9)
+    return out
+
+
+def barycentric_coords(xform: np.ndarray, pts: np.ndarray) -> np.ndarray:
+    """Barycentric coordinates ``(n, 4)`` of points w.r.t. their cells.
+
+    ``xform``: (n, 12) per-point cell transforms; ``pts``: (n, 3).
+    """
+    d = pts - xform[:, :3]
+    a = xform[:, 3:].reshape(-1, 3, 3)
+    lam123 = np.einsum("nij,nj->ni", a, d)
+    lam0 = 1.0 - lam123.sum(axis=1, keepdims=True)
+    return np.concatenate([lam0, lam123], axis=1)
+
+
+def points_in_tets(xform: np.ndarray, pts: np.ndarray,
+                   tol: float = 1e-12) -> np.ndarray:
+    """Boolean mask: point i inside (or on the boundary of) its cell."""
+    lam = barycentric_coords(xform, pts)
+    return (lam >= -tol).all(axis=1)
+
+
+def p1_gradients(points: np.ndarray,
+                 cells: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Constant P1 shape-function gradients per cell.
+
+    Returns ``(grads, volumes)`` with ``grads`` of shape (ncells, 4, 3):
+    ``grads[c, i]`` is ``∇λ_i`` in cell ``c`` (``∇λ_0 = -Σ∇λ_{1..3}``).
+    These are the "shape derivative" dats of Mini-FEM-PIC: the electric
+    field in a cell is ``E = -Σ_i φ_i ∇λ_i`` and the stiffness matrix is
+    assembled from ``∇λ_i · ∇λ_j``.
+    """
+    xf = tet_barycentric_transforms(points, cells)
+    a = xf[:, 3:].reshape(-1, 3, 3)
+    grads = np.empty((cells.shape[0], 4, 3))
+    grads[:, 1:, :] = a
+    grads[:, 0, :] = -a.sum(axis=1)
+    return grads, np.abs(tet_volumes(points, cells))

@@ -1,0 +1,106 @@
+"""Periodic cuboid (hex) mesh for CabanaPIC.
+
+CabanaPIC generates its mesh from ``nx × ny × nz`` configuration at
+runtime (no mesh file) with periodic boundaries.  The OP-PIC port keeps
+the cells as an unstructured set whose "structure" lives entirely in
+explicit cell-to-cell stencil maps; this module builds those maps.
+
+Stencil map layout (arity 10), all wraps periodic::
+
+    0: +x   1: +y   2: +z   3: +y+z   4: +x+z   5: +x+y   6: +x+y+z
+    7: -x   8: -y   9: -z
+
+Slots 0-6 feed the field interpolator (gathering edge/face values around
+the cell); slots 7-9 feed the Yee curl in ``advance_e``; 0-2 feed
+``advance_b``.  A separate arity-6 face-neighbour map (``face_c2c``)
+drives the particle move: ``0:-x 1:+x 2:-y 3:+y 4:-z 5:+z``.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["HexMesh", "STENCIL", "FACES"]
+
+STENCIL = {"XP": 0, "YP": 1, "ZP": 2, "YPZP": 3, "XPZP": 4, "XPYP": 5,
+           "XPYPZP": 6, "XM": 7, "YM": 8, "ZM": 9}
+FACES = {"XM": 0, "XP": 1, "YM": 2, "YP": 3, "ZM": 4, "ZP": 5}
+
+
+@dataclass
+class HexMesh:
+    """A periodic brick of ``nx*ny*nz`` cuboid cells."""
+
+    nx: int
+    ny: int
+    nz: int
+    lx: float = 1.0
+    ly: float = 1.0
+    lz: float = 1.0
+    tags: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if min(self.nx, self.ny, self.nz) < 1:
+            raise ValueError("hex mesh needs at least one cell per dimension")
+        self.n_cells = self.nx * self.ny * self.nz
+        self.dx = self.lx / self.nx
+        self.dy = self.ly / self.ny
+        self.dz = self.lz / self.nz
+        self.stencil_c2c = self._build_stencil()
+        self.face_c2c = self._build_faces()
+        self.centroids = self._centroids()
+
+    # -- index arithmetic -------------------------------------------------------
+
+    def cell_id(self, i, j, k) -> np.ndarray:
+        """Cell index from (periodic) integer coordinates; x fastest."""
+        i = np.mod(i, self.nx)
+        j = np.mod(j, self.ny)
+        k = np.mod(k, self.nz)
+        return (k * self.ny + j) * self.nx + i
+
+    def cell_ijk(self, c):
+        c = np.asarray(c)
+        i = c % self.nx
+        j = (c // self.nx) % self.ny
+        k = c // (self.nx * self.ny)
+        return i, j, k
+
+    def _build_stencil(self) -> np.ndarray:
+        c = np.arange(self.n_cells, dtype=np.int64)
+        i, j, k = self.cell_ijk(c)
+        cols = [
+            self.cell_id(i + 1, j, k),          # XP
+            self.cell_id(i, j + 1, k),          # YP
+            self.cell_id(i, j, k + 1),          # ZP
+            self.cell_id(i, j + 1, k + 1),      # YPZP
+            self.cell_id(i + 1, j, k + 1),      # XPZP
+            self.cell_id(i + 1, j + 1, k),      # XPYP
+            self.cell_id(i + 1, j + 1, k + 1),  # XPYPZP
+            self.cell_id(i - 1, j, k),          # XM
+            self.cell_id(i, j - 1, k),          # YM
+            self.cell_id(i, j, k - 1),          # ZM
+        ]
+        return np.stack(cols, axis=1)
+
+    def _build_faces(self) -> np.ndarray:
+        c = np.arange(self.n_cells, dtype=np.int64)
+        i, j, k = self.cell_ijk(c)
+        cols = [
+            self.cell_id(i - 1, j, k), self.cell_id(i + 1, j, k),
+            self.cell_id(i, j - 1, k), self.cell_id(i, j + 1, k),
+            self.cell_id(i, j, k - 1), self.cell_id(i, j, k + 1),
+        ]
+        return np.stack(cols, axis=1)
+
+    def _centroids(self) -> np.ndarray:
+        c = np.arange(self.n_cells, dtype=np.int64)
+        i, j, k = self.cell_ijk(c)
+        return np.stack([(i + 0.5) * self.dx,
+                         (j + 0.5) * self.dy,
+                         (k + 0.5) * self.dz], axis=1)
+
+    @property
+    def cell_volume(self) -> float:
+        return self.dx * self.dy * self.dz

@@ -1,0 +1,147 @@
+"""Mesh file I/O.
+
+The paper's artifact distributes Mini-FEM-PIC meshes as HDF5 or ASCII
+``.dat`` files (``mesh_files`` directory); CabanaPIC generates its mesh
+from configuration at runtime.  This module provides the equivalent
+formats:
+
+* a human-readable ASCII ``.dat`` (sectioned: nodes, cells, named tags),
+* a compressed binary ``.npz`` (the HDF5 stand-in — numpy is the only
+  binary container available offline).
+
+Both round-trip :class:`~repro.mesh.unstructured.UnstructuredMesh`
+including its application tags, so the duct can be generated once and
+re-read by every run, exactly like the artifact's workflow.
+"""
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .unstructured import UnstructuredMesh
+
+__all__ = ["write_mesh_dat", "read_mesh_dat", "write_mesh_npz",
+           "read_mesh_npz", "save_mesh", "load_mesh"]
+
+_MAGIC = "# repro unstructured tet mesh v1"
+
+
+def write_mesh_dat(mesh: UnstructuredMesh, path: Union[str, Path]) -> Path:
+    """Write the ASCII ``.dat`` format (sectioned, self-describing)."""
+    path = Path(path)
+    lines = [_MAGIC, f"nodes {mesh.n_nodes}"]
+    for p in mesh.points:
+        lines.append(f"{p[0]:.17g} {p[1]:.17g} {p[2]:.17g}")
+    lines.append(f"cells {mesh.n_cells}")
+    for c in mesh.cell2node:
+        lines.append(" ".join(str(int(v)) for v in c))
+    for name, value in sorted(mesh.tags.items()):
+        arr = np.asarray(value)
+        if arr.dtype.kind == "f":
+            flat = " ".join(f"{v:.17g}" for v in arr.ravel())
+            kind = "f"
+        else:
+            flat = " ".join(str(int(v)) for v in arr.ravel())
+            kind = "i"
+        shape = ",".join(str(s) for s in arr.shape)
+        lines.append(f"tag {name} {kind} {shape}")
+        lines.append(flat if flat else "")
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def read_mesh_dat(path: Union[str, Path]) -> UnstructuredMesh:
+    """Read the ASCII ``.dat`` format back into a mesh (geometry arrays
+    such as volumes and barycentric transforms are re-derived)."""
+    text = Path(path).read_text().splitlines()
+    if not text or text[0].strip() != _MAGIC:
+        raise ValueError(f"{path}: not a repro mesh .dat file")
+    i = 1
+
+    def expect(keyword: str):
+        nonlocal i
+        parts = text[i].split()
+        if parts[0] != keyword:
+            raise ValueError(f"{path}:{i + 1}: expected {keyword!r} "
+                             f"section, got {text[i]!r}")
+        i += 1
+        return parts[1:]
+
+    (n_nodes,) = expect("nodes")
+    n_nodes = int(n_nodes)
+    points = np.array([[float(v) for v in text[i + r].split()]
+                       for r in range(n_nodes)])
+    i += n_nodes
+    (n_cells,) = expect("cells")
+    n_cells = int(n_cells)
+    cells = np.array([[int(v) for v in text[i + r].split()]
+                      for r in range(n_cells)], dtype=np.int64)
+    i += n_cells
+
+    tags = {}
+    while i < len(text):
+        if not text[i].strip():
+            i += 1
+            continue
+        name_kind_shape = expect("tag")
+        name, kind, shape_s = name_kind_shape
+        shape = tuple(int(s) for s in shape_s.split(",") if s)
+        raw = text[i].split()
+        i += 1
+        if kind == "f":
+            arr = np.array([float(v) for v in raw])
+        else:
+            arr = np.array([int(v) for v in raw], dtype=np.int64)
+        tags[name] = arr.reshape(shape)
+    mesh = UnstructuredMesh(points=points, cell2node=cells)
+    # tuple-valued tags (e.g. extent) were stored as float arrays
+    if "extent" in tags:
+        tags["extent"] = tuple(tags["extent"].tolist())
+    mesh.tags.update(tags)
+    return mesh
+
+
+def write_mesh_npz(mesh: UnstructuredMesh, path: Union[str, Path]) -> Path:
+    """Write the binary format (the HDF5 stand-in)."""
+    path = Path(path)
+    payload = {"points": mesh.points, "cell2node": mesh.cell2node}
+    for name, value in mesh.tags.items():
+        payload[f"tag_{name}"] = np.asarray(value)
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def read_mesh_npz(path: Union[str, Path]) -> UnstructuredMesh:
+    with np.load(path) as data:
+        mesh = UnstructuredMesh(points=data["points"],
+                                cell2node=data["cell2node"])
+        for key in data.files:
+            if key.startswith("tag_"):
+                name = key[4:]
+                value = data[key]
+                mesh.tags[name] = (tuple(value.tolist())
+                                   if name == "extent" else value)
+    return mesh
+
+
+def save_mesh(mesh: UnstructuredMesh, path: Union[str, Path]) -> Path:
+    """Dispatch on suffix: ``.dat`` (ASCII) or ``.npz`` (binary)."""
+    path = Path(path)
+    if path.suffix == ".dat":
+        return write_mesh_dat(mesh, path)
+    if path.suffix == ".npz":
+        return write_mesh_npz(mesh, path)
+    raise ValueError(f"unknown mesh format {path.suffix!r} "
+                     "(use .dat or .npz)")
+
+
+def load_mesh(path: Union[str, Path]) -> UnstructuredMesh:
+    path = Path(path)
+    if path.suffix == ".dat":
+        return read_mesh_dat(path)
+    if path.suffix == ".npz":
+        return read_mesh_npz(path)
+    raise ValueError(f"unknown mesh format {path.suffix!r} "
+                     "(use .dat or .npz)")

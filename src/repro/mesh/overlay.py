@@ -1,0 +1,117 @@
+"""Structured overlay grids for the direct-hop (DH) particle move.
+
+Paper §3.2.2: for DH, OP-PIC overlays two structured meshes on the
+unstructured mesh — a **cell-map** from each structured bin to the
+unstructured cell containing the bin centre, and a **rank-map** from each
+bin to the MPI rank owning that cell.  A moving particle jumps straight to
+the bin's cell (one structured lookup) and then multi-hops the last
+stretch.  The overlay costs memory, which the paper mitigates by keeping
+one copy per shared-memory node via MPI-RMA (see
+:mod:`repro.runtime.rma`).
+"""
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["StructuredOverlay"]
+
+
+class StructuredOverlay:
+    """A uniform grid over the bounding box of an unstructured mesh.
+
+    Parameters
+    ----------
+    lo, hi:
+        Bounding-box corners, each length-3.
+    dims:
+        Number of bins per axis.
+    cell_map:
+        Bin → unstructured-cell index, shape ``prod(dims)``.
+    rank_map:
+        Bin → owning rank, same shape (``None`` on single-rank runs).
+    """
+
+    def __init__(self, lo, hi, dims, cell_map: np.ndarray,
+                 rank_map: Optional[np.ndarray] = None):
+        self.lo = np.asarray(lo, dtype=np.float64)
+        self.hi = np.asarray(hi, dtype=np.float64)
+        self.dims = np.asarray(dims, dtype=np.int64)
+        if (self.dims < 1).any():
+            raise ValueError("overlay dims must be >= 1 per axis")
+        self.cell_map = np.asarray(cell_map, dtype=np.int64)
+        if self.cell_map.shape != (int(np.prod(self.dims)),):
+            raise ValueError("cell_map must have prod(dims) entries")
+        self.rank_map = (np.asarray(rank_map, dtype=np.int64)
+                         if rank_map is not None else None)
+        self.spacing = (self.hi - self.lo) / self.dims
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def build(cls, mesh, bins_per_axis=16) -> "StructuredOverlay":
+        """Build a cell-map overlay from an :class:`UnstructuredMesh` by
+        locating each bin centre (unlocatable bins copy their nearest
+        located neighbour's cell, so lookups never miss)."""
+        dims = np.broadcast_to(np.asarray(bins_per_axis, dtype=np.int64),
+                               (3,)).copy()
+        lo = mesh.points.min(axis=0)
+        hi = mesh.points.max(axis=0)
+        # tiny pad so points exactly on the upper boundary bin correctly
+        pad = 1e-9 * np.maximum(hi - lo, 1.0)
+        lo = lo - pad
+        hi = hi + pad
+        spacing = (hi - lo) / dims
+        kk, jj, ii = np.meshgrid(np.arange(dims[2]), np.arange(dims[1]),
+                                 np.arange(dims[0]), indexing="ij")
+        centres = (lo + (np.stack([ii.ravel(), jj.ravel(), kk.ravel()],
+                                  axis=1) + 0.5) * spacing)
+        # nearest-centroid guess accelerates the walk
+        guess = np.argmin(
+            ((centres[:, None, :] - mesh.centroids[None, :, :]) ** 2)
+            .sum(axis=2), axis=1) if mesh.n_cells <= 4096 else None
+        cell_map = mesh.locate(centres, guesses=guess)
+        missing = np.flatnonzero(cell_map < 0)
+        if missing.size:
+            found = np.flatnonzero(cell_map >= 0)
+            if found.size == 0:
+                raise RuntimeError("overlay could not locate any bin centre")
+            for m in missing:
+                nearest = found[np.argmin(
+                    ((centres[found] - centres[m]) ** 2).sum(axis=1))]
+                cell_map[m] = cell_map[nearest]
+        return cls(lo, hi, dims, cell_map)
+
+    # -- lookups -----------------------------------------------------------------
+
+    def bin_of(self, pts: np.ndarray) -> np.ndarray:
+        """Flattened bin index of each point (points clipped to the box)."""
+        pts = np.atleast_2d(pts)
+        ijk = ((pts - self.lo) / self.spacing).astype(np.int64)
+        ijk = np.clip(ijk, 0, self.dims - 1)
+        return (ijk[:, 2] * self.dims[1] + ijk[:, 1]) * self.dims[0] \
+            + ijk[:, 0]
+
+    def lookup_cell(self, pts: np.ndarray) -> np.ndarray:
+        """Direct-hop target cell for each point."""
+        return self.cell_map[self.bin_of(pts)]
+
+    def lookup_rank(self, pts: np.ndarray) -> np.ndarray:
+        if self.rank_map is None:
+            raise ValueError("overlay has no rank map (single-rank run)")
+        return self.rank_map[self.bin_of(pts)]
+
+    @property
+    def nbytes(self) -> int:
+        """Bookkeeping memory footprint (the DH trade-off the paper notes)."""
+        total = self.cell_map.nbytes
+        if self.rank_map is not None:
+            total += self.rank_map.nbytes
+        return total
+
+    def with_rank_map(self, cell_owner: np.ndarray) -> "StructuredOverlay":
+        """Derive the rank-map given the owning rank of every cell."""
+        rank_map = np.asarray(cell_owner, dtype=np.int64)[self.cell_map]
+        return StructuredOverlay(self.lo, self.hi, self.dims,
+                                 self.cell_map, rank_map)

@@ -1,0 +1,103 @@
+"""Tetrahedral duct mesh generator for Mini-FEM-PIC.
+
+The paper's Mini-FEM-PIC runs on a tetrahedral mesh "forming a duct":
+faces on one end are inlet faces injecting ions, the outer wall is held at
+a higher potential to confine them, and particles leaving any boundary
+face are removed.  The mesh files of the artifact are not available
+offline, so we generate an equivalent duct: an ``nx × ny × nz`` box grid,
+each box split into six tetrahedra with the Kuhn (Freudenthal)
+triangulation, which is consistent across box faces (so every interior
+face is shared by exactly two tets).
+"""
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from .unstructured import UnstructuredMesh, boundary_faces
+
+__all__ = ["duct_mesh", "KUHN_TETS"]
+
+# The six Kuhn simplices of the unit cube: vertex paths 000 -> 111 adding
+# one axis at a time, one simplex per axis permutation.
+KUHN_TETS = []
+for perm in itertools.permutations(range(3)):
+    corners = [np.zeros(3, dtype=np.int64)]
+    for axis in perm:
+        nxt = corners[-1].copy()
+        nxt[axis] = 1
+        corners.append(nxt)
+    KUHN_TETS.append(np.array(corners))
+
+
+def _corner_index(ix, iy, iz, nx, ny):
+    return (iz * (ny + 1) + iy) * (nx + 1) + ix
+
+
+def duct_mesh(nx: int, ny: int, nz: int,
+              lx: float = 1.0, ly: float = 1.0, lz: float = 4.0,
+              ) -> UnstructuredMesh:
+    """Build the duct: ``6 * nx * ny * nz`` tets along the z axis.
+
+    Tags set on the returned mesh:
+
+    ``inlet_faces``
+        boundary faces lying in the z=0 plane as ``[cell, opp_vertex,
+        n0, n1, n2]`` rows — particles are injected here;
+    ``inlet_cells``
+        the owning cell of each inlet face;
+    ``inlet_nodes`` / ``wall_nodes`` / ``outlet_nodes``
+        node index arrays for the Dirichlet boundary conditions of the
+        field solve (inlet grounded, outer wall at the confining
+        potential).
+    """
+    if min(nx, ny, nz) < 1:
+        raise ValueError("duct needs at least one box per dimension")
+    # nodes
+    xs = np.linspace(0.0, lx, nx + 1)
+    ys = np.linspace(0.0, ly, ny + 1)
+    zs = np.linspace(0.0, lz, nz + 1)
+    gz, gy, gx = np.meshgrid(zs, ys, xs, indexing="ij")
+    points = np.stack([gx.ravel(), gy.ravel(), gz.ravel()], axis=1)
+
+    # cells: 6 tets per box
+    cells = []
+    for iz in range(nz):
+        for iy in range(ny):
+            for ix in range(nx):
+                base = np.array([ix, iy, iz])
+                for tet in KUHN_TETS:
+                    idx = [_corner_index(*(base + c), nx, ny) for c in tet]
+                    cells.append(idx)
+    cells = np.asarray(cells, dtype=np.int64)
+
+    # fix orientation: make all volumes positive
+    v = points[cells]
+    vol6 = np.einsum("ij,ij->i",
+                     v[:, 1] - v[:, 0],
+                     np.cross(v[:, 2] - v[:, 0], v[:, 3] - v[:, 0]))
+    flip = vol6 < 0
+    cells[flip] = cells[flip][:, [0, 2, 1, 3]]
+
+    mesh = UnstructuredMesh(points=points, cell2node=cells)
+
+    bf = boundary_faces(cells, mesh.c2c)
+    face_nodes = bf[:, 2:]
+    z_of = points[:, 2]
+    inlet_mask = np.all(np.isclose(z_of[face_nodes], 0.0), axis=1)
+    mesh.tags["inlet_faces"] = bf[inlet_mask]
+    mesh.tags["inlet_cells"] = bf[inlet_mask, 0]
+    mesh.tags["boundary_faces"] = bf
+
+    on_inlet = np.isclose(z_of, 0.0)
+    on_outlet = np.isclose(z_of, lz)
+    on_wall = (np.isclose(points[:, 0], 0.0) | np.isclose(points[:, 0], lx)
+               | np.isclose(points[:, 1], 0.0) | np.isclose(points[:, 1], ly))
+    # tags are disjoint: inlet wins over wall, wall wins over outlet
+    mesh.tags["inlet_nodes"] = np.flatnonzero(on_inlet)
+    mesh.tags["wall_nodes"] = np.flatnonzero(on_wall & ~on_inlet)
+    mesh.tags["outlet_nodes"] = np.flatnonzero(on_outlet & ~on_inlet
+                                               & ~on_wall)
+    mesh.tags["extent"] = (lx, ly, lz)
+    return mesh

@@ -1,0 +1,171 @@
+"""2-D triangular meshes.
+
+The NEPTUNE programme the paper serves also maintains 1-D and 2-D
+particle models (its ExCALIBUR reports, cited in §2); this module is the
+2-D substrate: a square domain triangulated into right triangles, with
+the same opposite-vertex adjacency convention the 3-D walk uses —
+``c2c[c, i]`` is the neighbour across the edge opposite vertex ``i``.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = ["TriMesh", "square_tri_mesh", "build_tri_c2c"]
+
+# edge i of a triangle is opposite vertex i
+_TRI_EDGES = np.array([[1, 2], [0, 2], [0, 1]])
+
+
+def build_tri_c2c(cell2node: np.ndarray) -> np.ndarray:
+    """Edge-adjacency with the opposite-vertex convention (−1 = wall)."""
+    ncells = cell2node.shape[0]
+    c2c = np.full((ncells, 3), -1, dtype=np.int64)
+    edge_owner: Dict[Tuple[int, int], Tuple[int, int]] = {}
+    for c in range(ncells):
+        nodes = cell2node[c]
+        for i in range(3):
+            key = tuple(sorted(nodes[_TRI_EDGES[i]]))
+            other = edge_owner.pop(key, None)
+            if other is None:
+                edge_owner[key] = (c, i)
+            else:
+                oc, oi = other
+                c2c[c, i] = oc
+                c2c[oc, oi] = c
+    return c2c
+
+
+def tri_areas(points: np.ndarray, cells: np.ndarray) -> np.ndarray:
+    v = points[cells]
+    e1 = v[:, 1] - v[:, 0]
+    e2 = v[:, 2] - v[:, 0]
+    return 0.5 * (e1[:, 0] * e2[:, 1] - e1[:, 1] * e2[:, 0])
+
+
+def tri_barycentric_transforms(points: np.ndarray,
+                               cells: np.ndarray) -> np.ndarray:
+    """Per-cell ``[v0 (2), A (4 row-major)]`` with λ₁,₂ = A (x − v0)."""
+    v = points[cells]
+    v0 = v[:, 0]
+    edges = np.stack([v[:, 1] - v0, v[:, 2] - v0], axis=-1)
+    a = np.linalg.inv(edges)
+    out = np.empty((cells.shape[0], 6))
+    out[:, :2] = v0
+    out[:, 2:] = a.reshape(-1, 4)
+    return out
+
+
+def tri_p1_gradients(points: np.ndarray,
+                     cells: np.ndarray) -> np.ndarray:
+    """Constant P1 gradients ``(ncells, 3, 2)``; ∇λ₀ = −Σ∇λ₁,₂."""
+    xf = tri_barycentric_transforms(points, cells)
+    a = xf[:, 2:].reshape(-1, 2, 2)
+    grads = np.empty((cells.shape[0], 3, 2))
+    grads[:, 1:, :] = a
+    grads[:, 0, :] = -a.sum(axis=1)
+    return grads
+
+
+@dataclass
+class TriMesh:
+    """A triangulated 2-D domain with derived geometry."""
+
+    points: np.ndarray       # (nnodes, 2)
+    cell2node: np.ndarray    # (ncells, 3)
+    tags: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.points = np.asarray(self.points, dtype=np.float64)
+        self.cell2node = np.asarray(self.cell2node, dtype=np.int64)
+        areas = tri_areas(self.points, self.cell2node)
+        if (areas <= 0).any():
+            raise ValueError("triangulation contains inverted or "
+                             "degenerate triangles")
+        self.areas = areas
+        self.c2c = build_tri_c2c(self.cell2node)
+        self.xforms = tri_barycentric_transforms(self.points,
+                                                 self.cell2node)
+        self.grads = tri_p1_gradients(self.points, self.cell2node)
+        self.centroids = self.points[self.cell2node].mean(axis=1)
+
+    @property
+    def n_cells(self) -> int:
+        return self.cell2node.shape[0]
+
+    @property
+    def n_nodes(self) -> int:
+        return self.points.shape[0]
+
+    def barycentric(self, cells: np.ndarray,
+                    pts: np.ndarray) -> np.ndarray:
+        xf = self.xforms[cells]
+        d = pts - xf[:, :2]
+        a = xf[:, 2:].reshape(-1, 2, 2)
+        lam12 = np.einsum("nij,nj->ni", a, d)
+        lam0 = 1.0 - lam12.sum(axis=1, keepdims=True)
+        return np.concatenate([lam0, lam12], axis=1)
+
+    def locate(self, pts: np.ndarray, guesses=None,
+               max_hops: int = 10_000) -> np.ndarray:
+        """Barycentric walk (host-side; −1 when the point is outside)."""
+        pts = np.atleast_2d(pts)
+        n = pts.shape[0]
+        cells = (np.zeros(n, dtype=np.int64) if guesses is None
+                 else np.asarray(guesses, dtype=np.int64).copy())
+        out = np.full(n, -1, dtype=np.int64)
+        active = np.arange(n)
+        for _ in range(max_hops):
+            if active.size == 0:
+                break
+            lam = self.barycentric(cells[active], pts[active])
+            inside = (lam >= -1e-12).all(axis=1)
+            out[active[inside]] = cells[active[inside]]
+            rem = active[~inside]
+            if rem.size == 0:
+                break
+            worst = lam[~inside].argmin(axis=1)
+            nxt = self.c2c[cells[rem], worst]
+            off = nxt < 0
+            out[rem[off]] = -1
+            keep = rem[~off]
+            cells[keep] = nxt[~off]
+            active = keep
+        return out
+
+
+def square_tri_mesh(nx: int, ny: int, lx: float = 1.0,
+                    ly: float = 1.0) -> TriMesh:
+    """Triangulate an ``nx × ny`` square grid (2 triangles per square).
+
+    Tags: ``boundary_nodes`` (all four walls — the grounded electrodes of
+    the 2-D sheet model) and ``extent``.
+    """
+    if min(nx, ny) < 1:
+        raise ValueError("need at least one square per dimension")
+    xs = np.linspace(0.0, lx, nx + 1)
+    ys = np.linspace(0.0, ly, ny + 1)
+    gy, gx = np.meshgrid(ys, xs, indexing="ij")
+    points = np.stack([gx.ravel(), gy.ravel()], axis=1)
+
+    def nid(i, j):
+        return j * (nx + 1) + i
+
+    cells = []
+    for j in range(ny):
+        for i in range(nx):
+            n00, n10 = nid(i, j), nid(i + 1, j)
+            n01, n11 = nid(i, j + 1), nid(i + 1, j + 1)
+            cells.append([n00, n10, n11])
+            cells.append([n00, n11, n01])
+    mesh = TriMesh(points=points, cell2node=np.asarray(cells))
+
+    on_wall = (np.isclose(points[:, 0], 0.0)
+               | np.isclose(points[:, 0], lx)
+               | np.isclose(points[:, 1], 0.0)
+               | np.isclose(points[:, 1], ly))
+    mesh.tags["boundary_nodes"] = np.flatnonzero(on_wall)
+    mesh.tags["extent"] = (lx, ly)
+    return mesh

@@ -1,0 +1,125 @@
+"""Generic unstructured-mesh container and connectivity builders.
+
+OP-PIC applications declare meshes as raw sets + maps; this module is the
+substrate that produces those raw arrays (the role of the mesh files in
+the paper's artifact).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from . import geometry
+
+__all__ = ["UnstructuredMesh", "build_tet_c2c", "boundary_faces"]
+
+# face f of a tet is opposite vertex f: nodes of face f = all vertices but f
+_TET_FACES = np.array([[1, 2, 3], [0, 2, 3], [0, 1, 3], [0, 1, 2]])
+
+
+def build_tet_c2c(cell2node: np.ndarray) -> np.ndarray:
+    """Cell-to-cell adjacency for a tet mesh, ``(ncells, 4)``.
+
+    ``c2c[c, i]`` is the cell sharing the face *opposite vertex i* of cell
+    ``c`` (or -1 on the boundary) — the ordering the multi-hop walk relies
+    on: the next probable cell lies across the face opposite the most
+    negative barycentric coordinate.
+    """
+    ncells = cell2node.shape[0]
+    c2c = np.full((ncells, 4), -1, dtype=np.int64)
+    face_owner: Dict[Tuple[int, int, int], Tuple[int, int]] = {}
+    for c in range(ncells):
+        nodes = cell2node[c]
+        for i in range(4):
+            key = tuple(sorted(nodes[_TET_FACES[i]]))
+            other = face_owner.pop(key, None)
+            if other is None:
+                face_owner[key] = (c, i)
+            else:
+                oc, oi = other
+                c2c[c, i] = oc
+                c2c[oc, oi] = c
+    return c2c
+
+
+def boundary_faces(cell2node: np.ndarray,
+                   c2c: np.ndarray) -> np.ndarray:
+    """All boundary faces as ``(nfaces, 5)`` rows ``[cell, opp_vertex, n0, n1, n2]``."""
+    rows = []
+    for c in range(cell2node.shape[0]):
+        for i in range(4):
+            if c2c[c, i] == -1:
+                rows.append([c, i, *cell2node[c][_TET_FACES[i]]])
+    return (np.asarray(rows, dtype=np.int64)
+            if rows else np.empty((0, 5), dtype=np.int64))
+
+
+@dataclass
+class UnstructuredMesh:
+    """A tetrahedral unstructured mesh with derived geometry.
+
+    Attributes are the raw arrays handed to ``decl_set``/``decl_map``/
+    ``decl_dat`` by the applications.
+    """
+
+    points: np.ndarray          # (nnodes, 3)
+    cell2node: np.ndarray       # (ncells, 4)
+    c2c: np.ndarray = field(default=None)            # (ncells, 4)
+    #: application tags (e.g. inlet cell ids, wall node ids)
+    tags: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.points = np.asarray(self.points, dtype=np.float64)
+        self.cell2node = np.asarray(self.cell2node, dtype=np.int64)
+        if self.c2c is None:
+            self.c2c = build_tet_c2c(self.cell2node)
+        vols = geometry.tet_volumes(self.points, self.cell2node)
+        if (vols <= 0).any():
+            raise ValueError("mesh contains inverted or degenerate "
+                             "tetrahedra; fix the generator's orientation")
+        self.volumes = vols
+        self.centroids = geometry.tet_centroids(self.points, self.cell2node)
+        self.xforms = geometry.tet_barycentric_transforms(self.points,
+                                                          self.cell2node)
+        self.grads, _ = geometry.p1_gradients(self.points, self.cell2node)
+
+    @property
+    def n_cells(self) -> int:
+        return self.cell2node.shape[0]
+
+    @property
+    def n_nodes(self) -> int:
+        return self.points.shape[0]
+
+    def locate(self, pts: np.ndarray,
+               guesses: Optional[np.ndarray] = None,
+               max_hops: int = 10_000) -> np.ndarray:
+        """Robust point location by barycentric walking (host-side utility
+        for initialisation and tests; the DSL move kernel does the same
+        walk through generated code)."""
+        pts = np.atleast_2d(pts)
+        n = pts.shape[0]
+        cells = (np.zeros(n, dtype=np.int64) if guesses is None
+                 else np.asarray(guesses, dtype=np.int64).copy())
+        out = np.full(n, -1, dtype=np.int64)
+        active = np.arange(n)
+        for _ in range(max_hops):
+            if active.size == 0:
+                break
+            lam = geometry.barycentric_coords(self.xforms[cells[active]],
+                                              pts[active])
+            inside = (lam >= -1e-12).all(axis=1)
+            out[active[inside]] = cells[active[inside]]
+            rem = active[~inside]
+            if rem.size == 0:
+                break
+            worst = lam[~inside].argmin(axis=1)
+            nxt = self.c2c[cells[rem], worst]
+            off = nxt < 0
+            out[rem[off]] = -1
+            keep = rem[~off]
+            cells[keep] = nxt[~off]
+            active = keep
+        return out

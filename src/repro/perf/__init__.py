@@ -1,0 +1,17 @@
+"""Performance modelling: timers, machine models, rooflines, power."""
+from .machine import CLUSTERS, MACHINES, ClusterModel, MachineModel, \
+    comm_time, kernel_time
+from .memory import MemoryReport, memory_report
+from .power import PAPER_BUDGET, PowerBudget, power_equivalent_nodes
+from .roofline import RooflinePoint, analyze, format_table, roofline_ceiling
+from .timers import LoopStats, PerfRecorder
+from .trace import TraceLog, attach_trace, export_chrome_trace
+from .utilization import utilization
+
+__all__ = ["LoopStats", "PerfRecorder", "TraceLog", "attach_trace",
+           "MemoryReport", "memory_report",
+           "export_chrome_trace", "MachineModel", "ClusterModel",
+           "MACHINES", "CLUSTERS", "kernel_time", "comm_time",
+           "RooflinePoint", "analyze", "format_table", "roofline_ceiling",
+           "PowerBudget", "PAPER_BUDGET", "power_equivalent_nodes",
+           "utilization"]

@@ -1,0 +1,181 @@
+"""Machine catalogue and analytical kernel-time model.
+
+The paper evaluates on the systems of its Table 2 (plus H100/MI210 single
+devices).  None of that hardware exists here, so — as DESIGN.md documents —
+device comparisons are *derived* the way the paper derives its MI250X
+numbers: measured per-kernel operation counters (FLOPs, bytes, collision
+depths, hop counts) combined with published machine parameters.
+
+Model per kernel execution::
+
+    t = launch
+      + max(bytes / BW_eff, flops / peak) · (1 + d·branches)   [d GPU only]
+      + atomic_term
+
+``BW_eff`` is the L3 bandwidth when the working set fits in L3 (CPUs),
+else DRAM.  ``atomic_term = n_updates/atomic_rate · (1 + α·(collisions−1))``
+captures atomic serialization: α is tiny on NVIDIA (hardware FP64 atomics),
+tiny for AMD's unsafe RMW atomics, and large for AMD CAS atomics — which
+reproduces the paper's ">200× slower" safe-atomics observation.
+Communication: ``t = n_msgs·latency + bytes/net_bw``.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .timers import LoopStats
+
+__all__ = ["MachineModel", "MACHINES", "CLUSTERS", "ClusterModel",
+           "kernel_time", "comm_time"]
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """One compute device (a CPU node or a single GPU / GCD)."""
+
+    name: str
+    kind: str                 # "cpu" | "gpu"
+    peak_gflops: float        # FP64
+    dram_gbs: float           # GB/s
+    l3_gbs: Optional[float] = None
+    l3_mb: float = 0.0
+    launch_us: float = 0.0    # kernel launch overhead
+    atomic_gups: float = 1.0  # safe (CAS) atomic updates/s (billions)
+    atomic_gups_unsafe: float = 1.0    # unsafe (RMW) atomic rate
+    atomic_alpha: float = 0.0      # serialization slope for safe atomics
+    atomic_alpha_unsafe: float = 0.0   # ... for unsafe/RMW atomics
+    divergence: float = 0.0   # fractional slowdown per divergent branch
+    power_w: float = 0.0      # per device (GPU) or per node (CPU)
+    cores: int = 1
+
+    def bw_eff(self, working_set_bytes: float) -> float:
+        """Effective streaming bandwidth in GB/s for a working set size."""
+        if (self.l3_gbs is not None and self.l3_mb > 0
+                and working_set_bytes <= self.l3_mb * 1e6):
+            return self.l3_gbs
+        return self.dram_gbs
+
+
+#: Device catalogue. Peak/bandwidth values are the published hardware specs
+#: for the paper's devices (Table 2 systems + §4.1.1 extras); power values
+#: come from Table 2 (CPU nodes) or are the node power divided by its GPUs.
+MACHINES: Dict[str, MachineModel] = {
+    "xeon_8268": MachineModel(
+        name="2x Intel Xeon 8268", kind="cpu", peak_gflops=3200.0,
+        dram_gbs=282.0, l3_gbs=1000.0, l3_mb=71.5, power_w=475.0, cores=48,
+        atomic_gups=0.15, atomic_gups_unsafe=0.15,
+        atomic_alpha=0.02, atomic_alpha_unsafe=0.02),
+    "epyc_7742": MachineModel(
+        name="2x AMD EPYC 7742 (ARCHER2 node)", kind="cpu",
+        peak_gflops=4600.0, dram_gbs=410.0, l3_gbs=2000.0, l3_mb=512.0,
+        power_w=660.0, cores=128,
+        atomic_gups=0.3, atomic_gups_unsafe=0.3,
+        atomic_alpha=0.02, atomic_alpha_unsafe=0.02),
+    "v100": MachineModel(
+        name="NVIDIA V100-SXM2-32GB", kind="gpu", peak_gflops=7800.0,
+        dram_gbs=900.0, launch_us=5.0, power_w=345.0, cores=80,
+        atomic_gups=12.0, atomic_gups_unsafe=12.0,
+        atomic_alpha=0.0002, atomic_alpha_unsafe=0.0002,
+        divergence=0.6),
+    "h100": MachineModel(
+        name="NVIDIA H100-80GB", kind="gpu", peak_gflops=34000.0,
+        dram_gbs=3350.0, launch_us=4.0, power_w=700.0, cores=132,
+        atomic_gups=40.0, atomic_gups_unsafe=40.0,
+        atomic_alpha=0.0001, atomic_alpha_unsafe=0.0001,
+        divergence=0.5),
+    "mi210": MachineModel(
+        name="AMD MI210", kind="gpu", peak_gflops=22600.0,
+        dram_gbs=1638.0, launch_us=6.0, power_w=300.0, cores=104,
+        atomic_gups=2.0, atomic_gups_unsafe=10.0,
+        atomic_alpha=0.14, atomic_alpha_unsafe=3e-4,
+        divergence=0.7),
+    "max_1550": MachineModel(
+        name="Intel Data Center GPU Max 1550", kind="gpu",
+        peak_gflops=52000.0, dram_gbs=3276.0, launch_us=6.0,
+        power_w=600.0, cores=128,
+        atomic_gups=16.0, atomic_gups_unsafe=16.0,
+        atomic_alpha=0.0004, atomic_alpha_unsafe=0.0004,
+        divergence=0.6),
+    "mi250x_gcd": MachineModel(
+        name="AMD MI250X (one GCD)", kind="gpu", peak_gflops=23950.0,
+        dram_gbs=1638.0, launch_us=6.0, power_w=280.0, cores=110,
+        atomic_gups=2.0, atomic_gups_unsafe=10.0,
+        atomic_alpha=0.14, atomic_alpha_unsafe=3e-4,
+        divergence=0.7),
+}
+
+
+@dataclass(frozen=True)
+class ClusterModel:
+    """A Table 2 system: devices + interconnect + node power."""
+
+    name: str
+    device: str               # key into MACHINES
+    devices_per_node: int
+    node_power_w: float
+    net_gbs: float            # injection bandwidth per node, GB/s
+    net_latency_us: float
+
+    @property
+    def machine(self) -> MachineModel:
+        return MACHINES[self.device]
+
+
+#: The four clusters of Table 2.
+CLUSTERS: Dict[str, ClusterModel] = {
+    "avon": ClusterModel("Avon (Dell C6420)", "xeon_8268", 1, 475.0,
+                         net_gbs=12.5, net_latency_us=1.5),
+    "archer2": ClusterModel("ARCHER2 (HPE Cray EX)", "epyc_7742", 1, 660.0,
+                            net_gbs=25.0, net_latency_us=1.7),
+    "bede": ClusterModel("Bede (IBM AC922 + 4x V100)", "v100", 4, 1500.0,
+                         net_gbs=12.5, net_latency_us=1.5),
+    "lumi-g": ClusterModel("LUMI-G (HPE Cray EX + 4x MI250X)",
+                           "mi250x_gcd", 8, 2390.0,
+                           net_gbs=6.25, net_latency_us=2.0),
+}
+
+
+def kernel_time(stats: LoopStats, machine: MachineModel,
+                strategy: str = "atomics",
+                working_set_bytes: Optional[float] = None) -> float:
+    """Predicted seconds for the accumulated executions of one loop."""
+    ws = working_set_bytes if working_set_bytes is not None else stats.nbytes
+    bw = machine.bw_eff(ws / max(stats.calls, 1))
+    stream = stats.nbytes / (bw * 1e9)
+    compute = stats.flops / (machine.peak_gflops * 1e9)
+    base = max(stream, compute)
+    if machine.kind == "gpu":
+        # warp-divergence penalty; saturates once most lanes diverge
+        branches = min(float(stats.extras.get("branches", 0)), 3.0)
+        base *= 1.0 + machine.divergence * branches
+    t = base + machine.launch_us * 1e-6 * stats.calls
+
+    if stats.indirect_inc and stats.max_collisions > 1:
+        updates = stats.n_total if not stats.is_move else stats.hops
+        if strategy == "atomics":
+            serial = 1.0 + machine.atomic_alpha * (stats.max_collisions - 1)
+            t += updates / (machine.atomic_gups * 1e9) * serial
+        elif strategy == "unsafe_atomics":
+            serial = 1.0 + machine.atomic_alpha_unsafe \
+                * (stats.max_collisions - 1)
+            t += updates / (machine.atomic_gups_unsafe * 1e9) * serial
+        elif strategy == "segmented_reduction":
+            # store keys+values, radix sort of the (key, value) pairs and
+            # reduce-by-key: several full passes with poor locality —
+            # ~820 bytes of extra traffic per update (multi-pass sort of
+            # key/value pairs with poor locality), but no serialization —
+            # collision-depth independent, unlike atomics
+            t += updates * 820 / (machine.dram_gbs * 1e9)
+        elif strategy == "scatter_arrays":
+            # final reduce streams nthreads private copies
+            t += stats.extras.get("nthreads", 1) * ws * 0.02 \
+                / (machine.dram_gbs * 1e9)
+    return t
+
+
+def comm_time(n_messages: int, nbytes: float,
+              cluster: ClusterModel) -> float:
+    """Latency + bandwidth model for a rank's communication volume."""
+    return (n_messages * cluster.net_latency_us * 1e-6
+            + nbytes / (cluster.net_gbs * 1e9))

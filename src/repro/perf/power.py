@@ -1,0 +1,39 @@
+"""Power-equivalent system sizing (paper §4.2.1, Figure 15).
+
+The paper fixes a ~12 kW envelope and compares: 18 ARCHER2 nodes vs 8 Bede
+nodes (32 V100) vs 5 LUMI-G nodes (20 MI250X = 40 GCDs), reporting GPU
+speed-ups of 1.43×/1.71× (Mini-FEM-PIC) and 3.52×/3.03× (CabanaPIC).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .machine import CLUSTERS, ClusterModel
+
+__all__ = ["power_equivalent_nodes", "PowerBudget", "PAPER_BUDGET"]
+
+
+@dataclass(frozen=True)
+class PowerBudget:
+    watts: float
+
+    def nodes_for(self, cluster: ClusterModel) -> int:
+        """How many whole nodes fit in the envelope (at least one)."""
+        return max(1, int(self.watts // cluster.node_power_w))
+
+    def devices_for(self, cluster: ClusterModel) -> int:
+        return self.nodes_for(cluster) * cluster.devices_per_node
+
+
+#: The paper's ≈12 kW envelope.
+PAPER_BUDGET = PowerBudget(watts=12_000.0)
+
+
+def power_equivalent_nodes(budget: PowerBudget = PAPER_BUDGET,
+                           ) -> Dict[str, int]:
+    """Node counts per cluster inside the budget.
+
+    With Table 2 powers this yields the paper's 18 / 8 / 5 split.
+    """
+    return {name: budget.nodes_for(c) for name, c in CLUSTERS.items()}

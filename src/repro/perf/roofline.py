@@ -1,0 +1,92 @@
+"""Roofline analysis (paper §4.1.2, Figures 10-11).
+
+The paper builds rooflines from Intel Advisor / Nsight Compute counters
+plus ERT-measured ceilings; for the MI250X it *estimates* FLOP/s from
+Omniperf op counts and instrumented kernel times.  We take the latter
+route everywhere: arithmetic intensity comes from the translator's
+per-kernel FLOP counts and the loop byte model; achieved FLOP/s uses the
+machine-model kernel time.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from .machine import MachineModel, kernel_time
+from .timers import LoopStats
+
+__all__ = ["RooflinePoint", "roofline_ceiling", "analyze", "format_table"]
+
+
+@dataclass
+class RooflinePoint:
+    kernel: str
+    ai: float                # FLOP/byte
+    gflops: float            # achieved
+    ceiling_gflops: float    # attainable at this AI
+    bound: str               # "DRAM", "L3", "compute" or "latency"
+    seconds: float
+
+    @property
+    def efficiency(self) -> float:
+        return self.gflops / self.ceiling_gflops if self.ceiling_gflops \
+            else 0.0
+
+
+def roofline_ceiling(ai: float, machine: MachineModel,
+                     level: str = "dram") -> float:
+    """Attainable GFLOP/s at arithmetic intensity ``ai``."""
+    bw = machine.dram_gbs if level == "dram" else (machine.l3_gbs or
+                                                   machine.dram_gbs)
+    return min(machine.peak_gflops, ai * bw)
+
+
+def analyze(loops: Sequence[LoopStats], machine: MachineModel,
+            strategy: str = "atomics") -> List[RooflinePoint]:
+    """Place each kernel on the machine's roofline.
+
+    A kernel is *latency-bound* (the paper's GPU ``DepositCharge``) when
+    its atomic-serialization term dominates its streaming time; it is
+    L3-bound on CPUs when its per-call working set fits in L3.
+    """
+    points = []
+    for st in loops:
+        if st.nbytes <= 0:
+            continue
+        ai = st.arithmetic_intensity
+        secs = kernel_time(st, machine, strategy=strategy)
+        gflops = st.flops / secs / 1e9 if secs > 0 else 0.0
+        # classify
+        stream_dram = st.nbytes / (machine.dram_gbs * 1e9)
+        compute = st.flops / (machine.peak_gflops * 1e9)
+        base = max(stream_dram, compute)
+        if machine.kind == "gpu" and st.indirect_inc and \
+                st.max_collisions > 1 and secs > 3.0 * base:
+            bound = "latency"
+        elif compute > stream_dram:
+            bound = "compute"
+        elif (machine.kind == "cpu" and machine.l3_mb > 0
+              and st.nbytes / max(st.calls, 1) <= machine.l3_mb * 1e6):
+            bound = "L3"
+        else:
+            bound = "DRAM"
+        ceiling = roofline_ceiling(
+            ai, machine, level="l3" if bound == "L3" else "dram")
+        points.append(RooflinePoint(kernel=st.name, ai=ai, gflops=gflops,
+                                    ceiling_gflops=ceiling, bound=bound,
+                                    seconds=secs))
+    return points
+
+
+def format_table(points: Sequence[RooflinePoint], machine: MachineModel,
+                 title: str = "") -> str:
+    lines = [title or f"Roofline — {machine.name}",
+             f"  peak {machine.peak_gflops:.0f} GF/s, DRAM "
+             f"{machine.dram_gbs:.0f} GB/s"
+             + (f", L3 {machine.l3_gbs:.0f} GB/s" if machine.l3_gbs else ""),
+             f"  {'kernel':<26}{'AI':>8}{'GF/s':>10}{'ceiling':>10}"
+             f"{'bound':>9}"]
+    for p in sorted(points, key=lambda p: -p.seconds):
+        lines.append(f"  {p.kernel:<26}{p.ai:>8.3f}{p.gflops:>10.2f}"
+                     f"{p.ceiling_gflops:>10.1f}{p.bound:>9}")
+    return "\n".join(lines)

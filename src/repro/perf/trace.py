@@ -1,0 +1,66 @@
+"""Chrome-trace export of loop timelines.
+
+The paper's per-kernel analysis relies on profilers (Nsight, Advisor,
+Omniperf, rocm-smi); the equivalent artefact here is a timeline of every
+loop execution exportable to the Chrome/Perfetto ``chrome://tracing``
+JSON format, one lane per rank.
+
+Event recording is off by default (the aggregate counters in
+:class:`~repro.perf.timers.PerfRecorder` are always on); enable it with
+``recorder.trace = TraceLog()`` or use :func:`attach_trace`.
+"""
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import List, Optional, Union
+
+__all__ = ["TraceLog", "attach_trace", "export_chrome_trace"]
+
+
+class TraceLog:
+    """Append-only list of (name, start, duration) loop events."""
+
+    def __init__(self, origin: Optional[float] = None):
+        self.origin = time.perf_counter() if origin is None else origin
+        self.events: List[tuple] = []
+
+    def record(self, name: str, t0: float, seconds: float) -> None:
+        self.events.append((name, t0 - self.origin, seconds))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def attach_trace(*recorders) -> List[TraceLog]:
+    """Attach a fresh, origin-aligned TraceLog to each PerfRecorder
+    (e.g. one per simulated rank) and return them."""
+    origin = time.perf_counter()
+    logs = []
+    for rec in recorders:
+        log = TraceLog(origin=origin)
+        rec.trace = log
+        logs.append(log)
+    return logs
+
+
+def export_chrome_trace(logs, path: Union[str, Path],
+                        lane_names=None) -> Path:
+    """Write ``chrome://tracing`` JSON: one process lane per TraceLog."""
+    if isinstance(logs, TraceLog):
+        logs = [logs]
+    events = []
+    for lane, log in enumerate(logs):
+        name = (lane_names[lane] if lane_names is not None
+                else f"rank {lane}")
+        events.append({"name": "process_name", "ph": "M", "pid": lane,
+                       "tid": 0, "args": {"name": name}})
+        for kernel, start, dur in log.events:
+            events.append({"name": kernel, "ph": "X", "pid": lane,
+                           "tid": 0, "ts": start * 1e6,
+                           "dur": dur * 1e6, "cat": "loop"})
+    path = Path(path)
+    path.write_text(json.dumps({"traceEvents": events,
+                                "displayTimeUnit": "ms"}))
+    return path

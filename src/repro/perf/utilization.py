@@ -1,0 +1,42 @@
+"""GPU-utilization model (paper Table 1).
+
+The paper reads nvidia-smi/rocm-smi busy percentages: ~99% on one device,
+dropping with device count as MPI communication and synchronization waits
+idle the GPU, and rising with particles-per-cell (more work per byte of
+halo).  We derive the same quantity from first principles:
+
+    utilization = busy / (busy + comm + sync)
+
+with ``busy`` the device-model compute time, ``comm`` the communication
+model applied to recorded message counters, and ``sync`` the load
+imbalance (max-rank minus mean-rank busy time — the wait at the move
+barrier the paper describes).
+"""
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .machine import ClusterModel, comm_time
+
+__all__ = ["utilization"]
+
+
+def utilization(busy_per_rank: Sequence[float],
+                msgs_per_rank: Sequence[int],
+                bytes_per_rank: Sequence[float],
+                cluster: ClusterModel) -> float:
+    """Average device utilization across ranks, in [0, 1]."""
+    busy = np.asarray(busy_per_rank, dtype=np.float64)
+    if busy.size == 0:
+        raise ValueError("need at least one rank")
+    comm = np.array([comm_time(int(m), float(b), cluster)
+                     for m, b in zip(msgs_per_rank, bytes_per_rank)])
+    if comm.shape != busy.shape:
+        raise ValueError("per-rank arrays must have matching length")
+    sync = busy.max() - busy          # wait at the end-of-step barrier
+    total = busy + comm + sync
+    with np.errstate(invalid="ignore", divide="ignore"):
+        u = np.where(total > 0, busy / total, 1.0)
+    return float(u.mean())

@@ -1,0 +1,15 @@
+"""Distributed-memory substrate: simulated MPI, partitioning, halos,
+particle migration, RMA windows and the direct-hop global mover."""
+from .comm import CommStats, SimComm
+from .dh import DirectHopGlobalMover, direct_hop_assign
+from .exchange import migrate, mpi_particle_move, pack_particles
+from .halo import (HaloPlan, RankMesh, build_rank_meshes, push_cell_halos,
+                   push_node_halos, reduce_cell_halos, reduce_node_halos)
+from .partition import edge_cut, partition
+from .rma import RMAWindow
+
+__all__ = ["SimComm", "CommStats", "partition", "edge_cut",
+           "build_rank_meshes", "RankMesh", "HaloPlan", "push_cell_halos",
+           "push_node_halos", "reduce_cell_halos", "reduce_node_halos", "migrate",
+           "mpi_particle_move", "pack_particles", "RMAWindow",
+           "direct_hop_assign", "DirectHopGlobalMover"]

@@ -1,0 +1,147 @@
+"""Simulated MPI: in-process ranks with counted communication.
+
+Every distributed algorithm of OP-PIC (halo exchange, particle packing and
+migration, RMA-based global move, reductions) runs here unchanged over N
+in-process ranks; only the wire is replaced by direct buffer copies.  The
+:class:`SimComm` records message counts and bytes per rank pair, which the
+performance model turns into communication time for the weak-scaling and
+utilization reproductions.
+"""
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["SimComm", "CommStats"]
+
+
+class CommStats:
+    """Message/byte counters, indexable by (src, dst)."""
+
+    def __init__(self, nranks: int):
+        self.nranks = nranks
+        self.msg_count = np.zeros((nranks, nranks), dtype=np.int64)
+        self.msg_bytes = np.zeros((nranks, nranks), dtype=np.int64)
+        self.collectives = 0
+        self.rma_ops = 0
+        self.rma_bytes = 0
+
+    def record(self, src: int, dst: int, nbytes: int) -> None:
+        self.msg_count[src, dst] += 1
+        self.msg_bytes[src, dst] += nbytes
+
+    @property
+    def total_messages(self) -> int:
+        return int(self.msg_count.sum())
+
+    @property
+    def total_bytes(self) -> int:
+        return int(self.msg_bytes.sum())
+
+    def bytes_sent_by(self, rank: int) -> int:
+        return int(self.msg_bytes[rank].sum())
+
+    def reset(self) -> None:
+        self.msg_count[:] = 0
+        self.msg_bytes[:] = 0
+        self.collectives = 0
+        self.rma_ops = 0
+        self.rma_bytes = 0
+
+
+class SimComm:
+    """An in-process communicator over ``nranks`` simulated ranks.
+
+    Point-to-point transfers move real numpy buffers between per-rank
+    mailboxes; collectives operate on per-rank value lists.  All traffic is
+    counted in :attr:`stats`.
+    """
+
+    def __init__(self, nranks: int):
+        if nranks < 1:
+            raise ValueError("need at least one rank")
+        self.nranks = int(nranks)
+        self.stats = CommStats(self.nranks)
+        # mailbox[dst][(src, tag)] = payload
+        self._mailbox: List[Dict] = [dict() for _ in range(self.nranks)]
+
+    # -- point-to-point ----------------------------------------------------------
+
+    def send(self, src: int, dst: int, payload: np.ndarray,
+             tag: int = 0) -> None:
+        """Post a message; like MPI, (src, dst, tag) identifies it."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        key = (src, tag)
+        if key in self._mailbox[dst]:
+            raise RuntimeError(f"unreceived message already pending for "
+                               f"dst={dst} from src={src} tag={tag}")
+        payload = np.ascontiguousarray(payload)
+        self._mailbox[dst][key] = payload
+        self.stats.record(src, dst, payload.nbytes)
+
+    def recv(self, dst: int, src: int, tag: int = 0) -> np.ndarray:
+        self._check_rank(src)
+        self._check_rank(dst)
+        try:
+            return self._mailbox[dst].pop((src, tag))
+        except KeyError:
+            raise RuntimeError(f"no message for dst={dst} from src={src} "
+                               f"tag={tag}") from None
+
+    def pending(self, dst: int) -> List:
+        return sorted(self._mailbox[dst].keys())
+
+    # -- collectives -------------------------------------------------------------
+
+    def allreduce(self, per_rank_values: Sequence, op: str = "sum"):
+        """Reduce one value per rank, returning the reduced scalar/array.
+
+        ``per_rank_values`` must have exactly one entry per rank (the
+        caller is the "program" driving all ranks through the collective).
+        """
+        if len(per_rank_values) != self.nranks:
+            raise ValueError(f"allreduce needs {self.nranks} values, got "
+                             f"{len(per_rank_values)}")
+        self.stats.collectives += 1
+        arr = [np.asarray(v) for v in per_rank_values]
+        if op == "sum":
+            return sum(arr[1:], arr[0].copy())
+        if op == "max":
+            out = arr[0].copy()
+            for a in arr[1:]:
+                out = np.maximum(out, a)
+            return out
+        if op == "min":
+            out = arr[0].copy()
+            for a in arr[1:]:
+                out = np.minimum(out, a)
+            return out
+        raise ValueError(f"unknown allreduce op {op!r}")
+
+    def alltoall_counts(self, counts: np.ndarray) -> np.ndarray:
+        """``counts[src, dst]`` → per-destination receive counts
+        (``MPI_Alltoall`` on message sizes, used before particle moves)."""
+        counts = np.asarray(counts)
+        if counts.shape != (self.nranks, self.nranks):
+            raise ValueError("counts must be (nranks, nranks)")
+        self.stats.collectives += 1
+        return counts.T.copy()
+
+    def barrier(self) -> None:
+        self.stats.collectives += 1
+
+    def swap_stats(self, stats: CommStats) -> CommStats:
+        """Redirect traffic accounting (e.g. to separate solver-library
+        traffic from PIC halo/migration traffic); returns the old stats."""
+        old = self.stats
+        self.stats = stats
+        return old
+
+    def _check_rank(self, r: int) -> None:
+        if not 0 <= r < self.nranks:
+            raise IndexError(f"rank {r} out of range (nranks={self.nranks})")
+
+    def __repr__(self) -> str:
+        return f"<SimComm nranks={self.nranks}>"

@@ -1,0 +1,156 @@
+"""Direct-hop (DH) particle relocation (paper §3.2.2, Figure 7(b)).
+
+Instead of walking cell-to-cell from the old position (multi-hop), DH
+jumps each particle straight to a cell *near* its final position using a
+structured overlay (cell-map), and — in distributed runs — straight to the
+*owning rank* using the overlay's rank-map, with an RMA-based global move
+(any rank may send to any rank; an all-to-all count exchange sizes the
+receives).  A short multi-hop finishes the relocation.
+
+DH trades bookkeeping memory (the overlay, one copy per node via RMA) for
+fewer hops and fewer neighbour-to-neighbour migration rounds; the paper
+measures it ~20% faster than MH.
+"""
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.dats import Dat
+from ..core.maps import Map
+from ..core.sets import ParticleSet
+from ..mesh.overlay import StructuredOverlay
+from .comm import SimComm
+from .exchange import pack_particles, unpack_particles
+from .halo import HaloPlan, RankMesh
+from .rma import RMAWindow
+
+__all__ = ["direct_hop_assign", "DirectHopGlobalMover"]
+
+_TAG_DH_PAYLOAD = 20
+_TAG_DH_CELLS = 21
+
+
+def direct_hop_assign(overlay: StructuredOverlay, pset: ParticleSet,
+                      pos_dat: Dat, p2c_map: Map) -> int:
+    """Single-rank DH: point every particle's cell map at the overlay's
+    guess for its *new* position.  Returns how many guesses changed.
+
+    The subsequent ``opp_particle_move`` then needs only a short walk.
+    """
+    if pset.size == 0:
+        return 0
+    guess = overlay.lookup_cell(pos_dat.data[: pset.size])
+    old = p2c_map.p2c.copy()
+    alive = old >= 0
+    p2c_map.p2c[alive] = guess[alive]
+    return int((old[alive] != guess[alive]).sum())
+
+
+class DirectHopGlobalMover:
+    """Distributed DH: rank-map lookups through an RMA window plus the
+    global move (pack → all-to-all counts → unpack), leaving every
+    particle on its destination rank with a near-final cell guess.
+    """
+
+    def __init__(self, overlay: StructuredOverlay, comm: SimComm,
+                 plan: HaloPlan, meshes: Sequence[RankMesh],
+                 ranks_per_node: Optional[int] = None):
+        if overlay.rank_map is None:
+            raise ValueError("distributed DH needs an overlay with a "
+                             "rank-map (overlay.with_rank_map)")
+        self.overlay = overlay
+        self.comm = comm
+        self.plan = plan
+        self.meshes = meshes
+        # one (cell-map, rank-map) copy per shared-memory node via RMA
+        self.cell_window = RMAWindow(overlay.cell_map, comm, ranks_per_node)
+        self.rank_window = RMAWindow(overlay.rank_map, comm, ranks_per_node)
+        # local-cell lookup per rank: global cell id -> local id
+        self._g2l = []
+        for rm in meshes:
+            g2l = {}
+            for loc, g in enumerate(rm.cells_global):
+                g2l[int(g)] = loc
+            self._g2l.append(g2l)
+
+    def _local_cells(self, rank: int, global_cells: np.ndarray) -> np.ndarray:
+        g2l = self._g2l[rank]
+        return np.fromiter((g2l.get(int(g), -1) for g in global_cells),
+                           dtype=np.int64, count=len(global_cells))
+
+    def global_move(self, psets: Sequence[ParticleSet],
+                    pos_dats: Sequence[Dat],
+                    p2c_maps: Sequence[Map],
+                    exchange_dats: Sequence[Sequence[Dat]],
+                    ) -> List[Optional[np.ndarray]]:
+        """Move every particle to the rank the overlay says owns its new
+        position and set its cell guess; returns per-rank received indices.
+        """
+        nranks = self.comm.nranks
+        counts = np.zeros((nranks, nranks), dtype=np.int64)
+        packed = {}
+
+        self.cell_window.fence()
+        self.rank_window.fence()
+        for r in range(nranks):
+            pset = psets[r]
+            if pset.size == 0:
+                continue
+            pos = pos_dats[r].data[: pset.size]
+            alive = p2c_maps[r].p2c >= 0
+            bins = self.overlay.bin_of(pos)
+            dest_rank = self.rank_window.get(r, bins)
+            dest_cell_global = self.cell_window.get(r, bins)
+
+            stay = alive & (dest_rank == r)
+            go = alive & (dest_rank != r)
+            # local guesses (global cell is owned here, so local id exists)
+            if stay.any():
+                idx = np.flatnonzero(stay)
+                p2c_maps[r].p2c[idx] = self._local_cells(
+                    r, dest_cell_global[idx])
+            if go.any():
+                rows = np.flatnonzero(go)
+                for d in np.unique(dest_rank[rows]):
+                    sel = rows[dest_rank[rows] == d]
+                    counts[r, int(d)] = sel.size
+                    packed[(r, int(d))] = (
+                        pack_particles(exchange_dats[r], sel),
+                        dest_cell_global[sel], sel)
+        self.cell_window.fence()
+        self.rank_window.fence()
+
+        # hole-fill the senders
+        for r in range(nranks):
+            sent_rows = [rows for (src, _d), (_b, _c, rows)
+                         in packed.items() if src == r]
+            if sent_rows:
+                psets[r].remove_particles(np.concatenate(sent_rows))
+
+        recv_counts = self.comm.alltoall_counts(counts)
+        for (r, d), (buf, cells, _rows) in packed.items():
+            self.comm.send(r, d, buf, tag=_TAG_DH_PAYLOAD)
+            self.comm.send(r, d, cells, tag=_TAG_DH_CELLS)
+
+        received: List[Optional[np.ndarray]] = [None] * nranks
+        for d in range(nranks):
+            if recv_counts[d].sum() == 0:
+                continue
+            start = psets[d].size
+            for s in range(nranks):
+                if recv_counts[d, s] == 0:
+                    continue
+                buf = self.comm.recv(d, s, tag=_TAG_DH_PAYLOAD)
+                cells = self.comm.recv(d, s, tag=_TAG_DH_CELLS)
+                local = self._local_cells(d, cells)
+                sl = psets[d].add_particles(buf.shape[0], cell_indices=local)
+                unpack_particles(exchange_dats[d], sl, buf)
+            received[d] = np.arange(start, psets[d].size, dtype=np.int64)
+        return received
+
+    @property
+    def overlay_nbytes(self) -> int:
+        """Total DH bookkeeping memory (the paper's memory trade-off)."""
+        return self.cell_window.nbytes_total + self.rank_window.nbytes_total

@@ -1,0 +1,187 @@
+"""Mesh partitioners.
+
+The paper uses a custom partitioning "along the principal direction of
+motion of particles" (as in PUMIPic) to minimise migration traffic, with
+ParMETIS as the general option.  We provide:
+
+* ``principal_direction`` — slab decomposition along a chosen axis sorted
+  by cell-centroid coordinate (the paper's custom scheme);
+* ``rcb`` — recursive coordinate bisection (geometric);
+* ``graph`` — recursive Kernighan–Lin graph bisection via networkx (the
+  METIS substitute);
+* ``block`` — contiguous index blocks (the naive baseline for the
+  partitioner ablation).
+
+All return ``cell_owner``: the owning rank of every global cell.
+"""
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["partition", "principal_direction", "rcb", "graph_partition",
+           "spectral", "block"]
+
+
+def block(n_cells: int, nranks: int) -> np.ndarray:
+    """Contiguous equal blocks by cell index."""
+    return np.minimum((np.arange(n_cells) * nranks) // max(n_cells, 1),
+                      nranks - 1).astype(np.int64)
+
+
+def principal_direction(centroids: np.ndarray, nranks: int,
+                        axis: int = 2) -> np.ndarray:
+    """Equal-count slabs along the axis particles predominantly travel."""
+    n = centroids.shape[0]
+    order = np.argsort(centroids[:, axis], kind="stable")
+    owner = np.empty(n, dtype=np.int64)
+    owner[order] = (np.arange(n) * nranks) // n
+    return owner
+
+
+def rcb(centroids: np.ndarray, nranks: int) -> np.ndarray:
+    """Recursive coordinate bisection: split the longest extent in half
+    (by cell count), recurse with proportional rank shares."""
+    n = centroids.shape[0]
+    owner = np.zeros(n, dtype=np.int64)
+
+    def recurse(idx: np.ndarray, ranks_lo: int, ranks_hi: int) -> None:
+        nr = ranks_hi - ranks_lo
+        if nr <= 1 or idx.size == 0:
+            owner[idx] = ranks_lo
+            return
+        pts = centroids[idx]
+        axis = int(np.argmax(pts.max(axis=0) - pts.min(axis=0)))
+        order = idx[np.argsort(pts[:, axis], kind="stable")]
+        nr_lo = nr // 2
+        split = (idx.size * nr_lo) // nr
+        recurse(order[:split], ranks_lo, ranks_lo + nr_lo)
+        recurse(order[split:], ranks_lo + nr_lo, ranks_hi)
+
+    recurse(np.arange(n), 0, nranks)
+    return owner
+
+
+def graph_partition(c2c: np.ndarray, nranks: int,
+                    seed: int = 0) -> np.ndarray:
+    """Recursive Kernighan–Lin bisection over the cell adjacency graph
+    (our METIS stand-in, via networkx)."""
+    import networkx as nx
+
+    n = c2c.shape[0]
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    src = np.repeat(np.arange(n), c2c.shape[1])
+    dst = c2c.ravel()
+    ok = dst >= 0
+    g.add_edges_from(zip(src[ok].tolist(), dst[ok].tolist()))
+
+    owner = np.zeros(n, dtype=np.int64)
+
+    def recurse(nodes, ranks_lo: int, ranks_hi: int) -> None:
+        nr = ranks_hi - ranks_lo
+        if nr <= 1:
+            owner[list(nodes)] = ranks_lo
+            return
+        sub = g.subgraph(nodes)
+        nr_lo = nr // 2
+        # KL bisection is balanced 50/50; for odd rank counts we still
+        # split evenly then let recursion absorb the imbalance.
+        a, b = nx.algorithms.community.kernighan_lin_bisection(
+            sub, seed=seed, max_iter=10)
+        recurse(a, ranks_lo, ranks_lo + nr_lo)
+        recurse(b, ranks_lo + nr_lo, ranks_hi)
+
+    recurse(set(range(n)), 0, nranks)
+    return owner
+
+
+def spectral(c2c: np.ndarray, nranks: int) -> np.ndarray:
+    """Recursive spectral bisection: split at the median of the Fiedler
+    vector of the cell-adjacency Laplacian (a second METIS-class
+    stand-in, alongside Kernighan–Lin)."""
+    import scipy.sparse as sp
+    import scipy.sparse.linalg as spla
+
+    n = c2c.shape[0]
+    src = np.repeat(np.arange(n), c2c.shape[1])
+    dst = c2c.ravel()
+    ok = dst >= 0
+    adj = sp.coo_matrix((np.ones(ok.sum()), (src[ok], dst[ok])),
+                        shape=(n, n)).tocsr()
+    adj = ((adj + adj.T) > 0).astype(np.float64)
+
+    owner = np.zeros(n, dtype=np.int64)
+
+    def fiedler_split(idx: np.ndarray) -> np.ndarray:
+        sub = adj[idx][:, idx]
+        deg = np.asarray(sub.sum(axis=1)).ravel()
+        lap = sp.diags(deg) - sub
+        if idx.size <= 2:
+            return np.arange(idx.size) < idx.size // 2
+        try:
+            # smallest two eigenpairs; the second is the Fiedler vector
+            _, vecs = spla.eigsh(lap.tocsc(), k=2, sigma=-1e-8,
+                                 which="LM")
+            f = vecs[:, 1]
+        except Exception:
+            f = np.arange(idx.size, dtype=np.float64)  # fallback: index
+        return f <= np.median(f)
+
+    def recurse(idx: np.ndarray, ranks_lo: int, ranks_hi: int) -> None:
+        nr = ranks_hi - ranks_lo
+        if nr <= 1 or idx.size == 0:
+            owner[idx] = ranks_lo
+            return
+        lo_mask = fiedler_split(idx)
+        nr_lo = nr // 2
+        # rebalance the split to the rank proportions
+        want_lo = (idx.size * nr_lo) // nr
+        order = np.argsort(~lo_mask, kind="stable")
+        recurse(idx[order[:want_lo]], ranks_lo, ranks_lo + nr_lo)
+        recurse(idx[order[want_lo:]], ranks_lo + nr_lo, ranks_hi)
+
+    recurse(np.arange(n), 0, nranks)
+    return owner
+
+
+def partition(method: str, nranks: int, *,
+              centroids: Optional[np.ndarray] = None,
+              c2c: Optional[np.ndarray] = None,
+              n_cells: Optional[int] = None,
+              axis: int = 2) -> np.ndarray:
+    """Dispatch by method name; see module docstring."""
+    if nranks < 1:
+        raise ValueError("nranks must be >= 1")
+    if method == "block":
+        if n_cells is None:
+            n_cells = len(centroids) if centroids is not None else len(c2c)
+        return block(n_cells, nranks)
+    if method == "principal_direction":
+        if centroids is None:
+            raise ValueError("principal_direction needs centroids")
+        return principal_direction(centroids, nranks, axis=axis)
+    if method == "rcb":
+        if centroids is None:
+            raise ValueError("rcb needs centroids")
+        return rcb(centroids, nranks)
+    if method == "graph":
+        if c2c is None:
+            raise ValueError("graph partitioning needs the c2c adjacency")
+        return graph_partition(c2c, nranks)
+    if method == "spectral":
+        if c2c is None:
+            raise ValueError("spectral partitioning needs the c2c "
+                             "adjacency")
+        return spectral(c2c, nranks)
+    raise ValueError(f"unknown partition method {method!r}")
+
+
+def edge_cut(c2c: np.ndarray, owner: np.ndarray) -> int:
+    """Number of mesh faces crossing partition boundaries (quality metric)."""
+    src = np.repeat(np.arange(c2c.shape[0]), c2c.shape[1])
+    dst = c2c.ravel()
+    ok = dst >= 0
+    cut = owner[src[ok]] != owner[dst[ok]]
+    return int(cut.sum()) // 2

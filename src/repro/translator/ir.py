@@ -1,0 +1,83 @@
+"""Intermediate representation of an elemental kernel.
+
+OP-PIC parses the C++ application with clang and keeps the AST plus API
+metadata as its IR (paper §3.4).  We do the same with Python's ``ast``:
+the IR is the function's AST together with the derived facts code
+generation needs — parameter roles, locals, per-element FLOP count, and
+whether the kernel is a move kernel (first parameter ``move``).
+"""
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["KernelIR", "FLOP_COSTS", "count_flops"]
+
+#: FP64 operation cost table used for the roofline counters; transcendental
+#: and division costs follow the common multi-flop accounting convention.
+FLOP_COSTS = {
+    "add": 1.0, "sub": 1.0, "mult": 1.0,
+    "div": 4.0, "pow": 8.0, "mod": 4.0, "floordiv": 4.0,
+    "sqrt": 4.0, "exp": 8.0, "log": 8.0, "sin": 8.0, "cos": 8.0,
+    "tan": 8.0, "minimum": 1.0, "maximum": 1.0, "abs": 1.0,
+    "floor": 1.0, "ceil": 1.0,
+}
+
+_BINOP_NAMES = {
+    ast.Add: "add", ast.Sub: "sub", ast.Mult: "mult", ast.Div: "div",
+    ast.Pow: "pow", ast.Mod: "mod", ast.FloorDiv: "floordiv",
+}
+
+_CALL_NAMES = {
+    "sqrt": "sqrt", "exp": "exp", "log": "log", "sin": "sin", "cos": "cos",
+    "tan": "tan", "min": "minimum", "max": "maximum", "abs": "abs",
+    "fabs": "abs", "floor": "floor", "ceil": "ceil",
+}
+
+
+def count_flops(tree: ast.AST) -> float:
+    """Count modelled FP64 operations in (an unrolled) kernel body."""
+    total = 0.0
+    for node in ast.walk(tree):
+        if isinstance(node, ast.BinOp):
+            name = _BINOP_NAMES.get(type(node.op))
+            if name:
+                total += FLOP_COSTS[name]
+        elif isinstance(node, ast.AugAssign):
+            name = _BINOP_NAMES.get(type(node.op))
+            if name:
+                total += FLOP_COSTS[name]
+        elif isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            total += 1.0
+        elif isinstance(node, ast.Call):
+            fname = None
+            if isinstance(node.func, ast.Name):
+                fname = node.func.id
+            elif isinstance(node.func, ast.Attribute):
+                fname = node.func.attr
+            cost_name = _CALL_NAMES.get(fname)
+            if cost_name:
+                total += FLOP_COSTS[cost_name]
+    return total
+
+
+@dataclass
+class KernelIR:
+    """Parsed form of one elemental kernel."""
+
+    name: str
+    params: List[str]
+    func_ast: ast.FunctionDef
+    #: body after constant-range for-loop unrolling (what codegen consumes)
+    unrolled_body: List[ast.stmt] = field(default_factory=list)
+    is_move: bool = False
+    flop_count: float = 0.0
+    #: names the kernel reads from its defining module scope (constants,
+    #: helper values); resolved at generation time
+    free_names: List[str] = field(default_factory=list)
+
+    @property
+    def data_params(self) -> List[str]:
+        """Parameter names excluding the move-context parameter."""
+        return self.params[1:] if self.is_move else self.params

@@ -1,0 +1,269 @@
+"""Kernel parser: Python source → :class:`~repro.translator.ir.KernelIR`.
+
+Mirrors OP-PIC's clang front-end: retrieve the elemental kernel's source,
+build an AST, validate that it stays inside the translatable kernel
+language, unroll constant-trip-count ``for`` loops, and record derived
+metadata (FLOP counts, free names).
+
+The kernel language (sufficient for the paper's two applications and the
+usual PIC kernels):
+
+* assignments / augmented assignments to scalar locals and to parameter
+  components ``p[i]``;
+* arithmetic, comparisons, boolean operators, conditional expressions;
+* calls to ``sqrt/exp/log/sin/cos/tan/min/max/abs/floor/int`` (bare or via
+  ``math.``/``np.``);
+* ``if``/``elif``/``else`` (translated to masks in vector code);
+* ``for v in range(K)`` with a compile-time-constant ``K`` (unrolled);
+* move-kernel control calls ``move.done() / move.move_to(c) /
+  move.remove()`` and reads of ``move.c2c[j] / move.cell / move.hop``.
+
+Anything outside this subset raises :class:`KernelLanguageError`; the
+backends then fall back to generated elemental-loop code.
+"""
+from __future__ import annotations
+
+import ast
+import copy
+from typing import List, Set
+
+from .ir import KernelIR, count_flops
+
+__all__ = ["parse_kernel", "KernelLanguageError"]
+
+_ALLOWED_CALLS = {"sqrt", "exp", "log", "sin", "cos", "tan", "min", "max",
+                  "abs", "fabs", "floor", "ceil", "int", "float", "range",
+                  "len"}
+_ALLOWED_CALL_MODULES = {"math", "np", "numpy"}
+_MOVE_METHODS = {"done", "move_to", "remove"}
+_MOVE_ATTRS = {"c2c", "cell", "hop"}
+
+
+class KernelLanguageError(ValueError):
+    """The kernel uses constructs outside the translatable subset."""
+
+
+def parse_kernel(kernel) -> KernelIR:
+    """Parse a :class:`~repro.core.kernel.Kernel` into IR."""
+    tree = ast.parse(kernel.source)
+    fns = [n for n in tree.body if isinstance(n, ast.FunctionDef)]
+    if len(fns) != 1:
+        raise KernelLanguageError(
+            f"kernel source for {kernel.name!r} must contain exactly one "
+            "function definition")
+    fn = fns[0]
+    params = [a.arg for a in fn.args.args]
+    if fn.args.vararg or fn.args.kwarg or fn.args.kwonlyargs:
+        raise KernelLanguageError("kernels take positional parameters only")
+
+    ir = KernelIR(name=kernel.name, params=params, func_ast=fn,
+                  is_move=bool(params) and params[0] == "move")
+    ir.unrolled_body = _unroll(fn.body)
+    _validate(ir)
+    ir.flop_count = count_flops(
+        ast.Module(body=ir.unrolled_body, type_ignores=[]))
+    ir.free_names = sorted(_free_names(ir))
+    return ir
+
+
+# -- loop unrolling --------------------------------------------------------------
+
+
+def _const_int(node: ast.expr):
+    """Evaluate a compile-time integer expression (literals & arithmetic)."""
+    try:
+        value = ast.literal_eval(node)
+    except (ValueError, TypeError, SyntaxError):
+        return None
+    return value if isinstance(value, int) else None
+
+
+class _Substitute(ast.NodeTransformer):
+    def __init__(self, name: str, value: int):
+        self.name = name
+        self.value = value
+
+    def visit_Name(self, node: ast.Name):
+        if node.id == self.name and isinstance(node.ctx, ast.Load):
+            return ast.copy_location(ast.Constant(value=self.value), node)
+        return node
+
+
+def _unroll(body: List[ast.stmt]) -> List[ast.stmt]:
+    out: List[ast.stmt] = []
+    for stmt in body:
+        if isinstance(stmt, ast.For):
+            out.extend(_unroll_for(stmt))
+        elif isinstance(stmt, ast.If):
+            new_if = copy.deepcopy(stmt)
+            new_if.body = _unroll(stmt.body)
+            new_if.orelse = _unroll(stmt.orelse)
+            out.append(new_if)
+        else:
+            out.append(stmt)
+    return out
+
+
+def _unroll_for(stmt: ast.For) -> List[ast.stmt]:
+    if not (isinstance(stmt.iter, ast.Call)
+            and isinstance(stmt.iter.func, ast.Name)
+            and stmt.iter.func.id == "range"):
+        raise KernelLanguageError("kernel for-loops must iterate range(...)")
+    if not isinstance(stmt.target, ast.Name):
+        raise KernelLanguageError("kernel for-loop target must be a name")
+    bounds = [_const_int(a) for a in stmt.iter.args]
+    if any(b is None for b in bounds) or not 1 <= len(bounds) <= 3:
+        raise KernelLanguageError(
+            "kernel for-loops need compile-time-constant range bounds")
+    it = range(*bounds)
+    if len(it) > 256:
+        raise KernelLanguageError(
+            f"refusing to unroll a {len(it)}-trip loop; restructure the "
+            "kernel")
+    out: List[ast.stmt] = []
+    inner = _unroll(stmt.body)
+    for v in it:
+        sub = _Substitute(stmt.target.id, v)
+        for s in inner:
+            out.append(sub.visit(copy.deepcopy(s)))
+    return [ast.fix_missing_locations(s) for s in out]
+
+
+# -- validation -------------------------------------------------------------------
+
+
+def _validate(ir: KernelIR) -> None:
+    checker = _Checker(ir)
+    for stmt in ir.unrolled_body:
+        checker.stmt(stmt)
+
+
+class _Checker:
+    def __init__(self, ir: KernelIR):
+        self.ir = ir
+        self.params = set(ir.params)
+
+    def stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            for t in targets:
+                self._check_store_target(t)
+            value = node.value
+            if value is not None:
+                self.expr(value)
+        elif isinstance(node, ast.If):
+            self.expr(node.test)
+            for s in node.body:
+                self.stmt(s)
+            for s in node.orelse:
+                self.stmt(s)
+        elif isinstance(node, ast.Expr):
+            if isinstance(node.value, ast.Constant):
+                return  # docstring / bare literal: a no-op
+            if not self._is_move_call(node.value):
+                raise KernelLanguageError(
+                    "bare expressions other than move.done()/move_to()/"
+                    "remove() have no effect in a kernel")
+            self.expr(node.value)
+        elif isinstance(node, ast.Pass):
+            pass
+        elif isinstance(node, ast.Return):
+            if node.value is not None:
+                raise KernelLanguageError("kernels cannot return values")
+            raise KernelLanguageError(
+                "early return is not translatable; use if/else structure")
+        else:
+            raise KernelLanguageError(
+                f"statement {type(node).__name__} is outside the kernel "
+                "language")
+
+    def _check_store_target(self, t: ast.expr) -> None:
+        if isinstance(t, ast.Name):
+            if t.id in self.params:
+                raise KernelLanguageError(
+                    f"cannot rebind parameter {t.id!r}; assign to its "
+                    "components p[i]")
+            return
+        if isinstance(t, ast.Subscript):
+            base = t.value
+            if isinstance(base, ast.Name) and base.id in self.params:
+                return
+            if isinstance(base, ast.Name):
+                raise KernelLanguageError(
+                    f"subscript store to local {base.id!r} is not supported; "
+                    "use distinct scalar locals")
+        raise KernelLanguageError(
+            f"unsupported assignment target {ast.dump(t)}")
+
+    def _is_move_call(self, e: ast.expr) -> bool:
+        return (isinstance(e, ast.Call)
+                and isinstance(e.func, ast.Attribute)
+                and isinstance(e.func.value, ast.Name)
+                and e.func.value.id == "move"
+                and e.func.attr in _MOVE_METHODS)
+
+    def expr(self, node: ast.expr) -> None:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                self._check_call(sub)
+            elif isinstance(sub, ast.Attribute):
+                self._check_attribute(sub)
+            elif isinstance(sub, (ast.Lambda, ast.ListComp, ast.DictComp,
+                                  ast.SetComp, ast.GeneratorExp, ast.Await,
+                                  ast.Yield, ast.YieldFrom, ast.Starred)):
+                raise KernelLanguageError(
+                    f"{type(sub).__name__} is outside the kernel language")
+
+    def _check_call(self, call: ast.Call) -> None:
+        f = call.func
+        if isinstance(f, ast.Name):
+            if f.id not in _ALLOWED_CALLS:
+                raise KernelLanguageError(
+                    f"call to {f.id!r} is outside the kernel language")
+        elif isinstance(f, ast.Attribute):
+            if isinstance(f.value, ast.Name) and f.value.id == "move":
+                if f.attr not in _MOVE_METHODS:
+                    raise KernelLanguageError(
+                        f"unknown move-context method move.{f.attr}()")
+                if not self.ir.is_move:
+                    raise KernelLanguageError(
+                        "move.* calls require the first kernel parameter to "
+                        "be named 'move'")
+            elif isinstance(f.value, ast.Name) and \
+                    f.value.id in _ALLOWED_CALL_MODULES:
+                if f.attr not in _ALLOWED_CALLS and \
+                        f.attr not in {"sqrt", "exp", "log", "sin", "cos",
+                                       "tan", "floor", "ceil", "fabs",
+                                       "minimum", "maximum"}:
+                    raise KernelLanguageError(
+                        f"call {f.value.id}.{f.attr} is outside the kernel "
+                        "language")
+            else:
+                raise KernelLanguageError(
+                    f"call target {ast.dump(f)} is outside the kernel "
+                    "language")
+
+    def _check_attribute(self, attr: ast.Attribute) -> None:
+        if isinstance(attr.value, ast.Name) and attr.value.id == "move":
+            if attr.attr not in _MOVE_ATTRS | _MOVE_METHODS:
+                raise KernelLanguageError(
+                    f"unknown move-context attribute move.{attr.attr}")
+
+
+# -- free-name analysis -----------------------------------------------------------
+
+
+def _free_names(ir: KernelIR) -> Set[str]:
+    """Names read but never defined inside the kernel (module constants)."""
+    defined = set(ir.params)
+    loaded: Set[str] = set()
+    module = ast.Module(body=ir.unrolled_body, type_ignores=[])
+    for node in ast.walk(module):
+        if isinstance(node, ast.Name):
+            if isinstance(node.ctx, ast.Store):
+                defined.add(node.id)
+            else:
+                loaded.add(node.id)
+    builtins = _ALLOWED_CALLS | {"True", "False", "None"}
+    return {n for n in loaded - defined if n not in builtins}

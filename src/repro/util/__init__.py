@@ -1,0 +1,6 @@
+"""Utilities: config-file parsing and seeded RNG helpers."""
+from .config import apply_to_dataclass, load_config, parse_config_text
+from .rng import rank_rng
+
+__all__ = ["parse_config_text", "load_config", "apply_to_dataclass",
+           "rank_rng"]

@@ -1,0 +1,75 @@
+"""OP-PIC-style key=value configuration files.
+
+The reference apps are driven by plain-text config files
+(``<app_binary> <config_file>``); this parser accepts the same shape::
+
+    # comment
+    num_steps = 250
+    plasma_den = 1.0e18
+    use_dh = true
+    mesh   = box_48000.dat
+
+Values are coerced to int, float, bool or str (in that order of
+preference).  ``load_config`` can overlay the parsed values onto a
+dataclass config (``FemPicConfig`` / ``CabanaConfig``), ignoring keys the
+dataclass does not define unless ``strict`` is set.
+"""
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Dict, Union
+
+__all__ = ["parse_config_text", "load_config", "apply_to_dataclass"]
+
+_BOOLS = {"true": True, "yes": True, "on": True,
+          "false": False, "no": False, "off": False}
+
+
+def _coerce(raw: str):
+    raw = raw.strip()
+    low = raw.lower()
+    if low in _BOOLS:
+        return _BOOLS[low]
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        pass
+    return raw
+
+
+def parse_config_text(text: str) -> Dict[str, object]:
+    """Parse key=value lines; '#' starts a comment; blank lines ignored."""
+    out: Dict[str, object] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        body = line.split("#", 1)[0].strip()
+        if not body:
+            continue
+        if "=" not in body:
+            raise ValueError(f"config line {lineno}: expected key = value, "
+                             f"got {line!r}")
+        key, _, value = body.partition("=")
+        key = key.strip()
+        if not key:
+            raise ValueError(f"config line {lineno}: empty key")
+        out[key] = _coerce(value)
+    return out
+
+
+def load_config(path: Union[str, Path]) -> Dict[str, object]:
+    return parse_config_text(Path(path).read_text())
+
+
+def apply_to_dataclass(values: Dict[str, object], cfg,
+                       strict: bool = False):
+    """Overlay parsed values onto a dataclass config, returning a copy."""
+    names = {f.name for f in dataclasses.fields(cfg)}
+    known = {k: v for k, v in values.items() if k in names}
+    unknown = set(values) - names
+    if strict and unknown:
+        raise ValueError(f"unknown config keys: {sorted(unknown)}")
+    return dataclasses.replace(cfg, **known)

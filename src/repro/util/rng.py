@@ -1,0 +1,19 @@
+"""Deterministic per-rank random streams.
+
+Distributed runs need independent but reproducible streams per rank;
+``np.random.SeedSequence.spawn`` provides exactly that without the
+classic ``seed + rank`` correlation pitfalls.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rank_rng"]
+
+
+def rank_rng(seed: int, rank: int, nranks: int) -> np.random.Generator:
+    """Generator for ``rank`` of ``nranks`` derived from one master seed."""
+    if not 0 <= rank < nranks:
+        raise IndexError(f"rank {rank} out of range for {nranks} ranks")
+    children = np.random.SeedSequence(seed).spawn(nranks)
+    return np.random.default_rng(children[rank])

@@ -1,0 +1,98 @@
+"""Legacy-VTK output for visualization.
+
+Writes ASCII legacy ``.vtk`` files (readable by ParaView/VisIt — the
+tools typically used with the paper's applications):
+
+* :func:`write_vtk_mesh` — the tetrahedral mesh with cell and point data
+  (e.g. electric field per cell, potential per node);
+* :func:`write_vtk_particles` — the particle cloud as VTK vertices with
+  per-particle attributes (velocity, weights).
+"""
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+__all__ = ["write_vtk_mesh", "write_vtk_particles"]
+
+_VTK_TET = 10
+_VTK_VERTEX = 1
+
+
+def _header(title: str) -> list:
+    return ["# vtk DataFile Version 3.0", title[:255], "ASCII",
+            "DATASET UNSTRUCTURED_GRID"]
+
+
+def _points_block(points: np.ndarray) -> list:
+    lines = [f"POINTS {len(points)} double"]
+    lines += [f"{p[0]:.9g} {p[1]:.9g} {p[2]:.9g}" for p in points]
+    return lines
+
+
+def _data_blocks(kind: str, n: int,
+                 fields: Optional[Dict[str, np.ndarray]]) -> list:
+    if not fields:
+        return []
+    lines = [f"{kind} {n}"]
+    for name, arr in fields.items():
+        arr = np.asarray(arr, dtype=np.float64)
+        if arr.ndim == 1:
+            arr = arr.reshape(-1, 1)
+        if arr.shape[0] != n:
+            raise ValueError(f"field {name!r} has {arr.shape[0]} rows, "
+                             f"expected {n}")
+        if arr.shape[1] == 3:
+            lines.append(f"VECTORS {name} double")
+            lines += [f"{v[0]:.9g} {v[1]:.9g} {v[2]:.9g}" for v in arr]
+        else:
+            for c in range(arr.shape[1]):
+                suffix = f"_{c}" if arr.shape[1] > 1 else ""
+                lines.append(f"SCALARS {name}{suffix} double 1")
+                lines.append("LOOKUP_TABLE default")
+                lines += [f"{v:.9g}" for v in arr[:, c]]
+    return lines
+
+
+def write_vtk_mesh(path: Union[str, Path], points: np.ndarray,
+                   cells: np.ndarray,
+                   cell_data: Optional[Dict[str, np.ndarray]] = None,
+                   point_data: Optional[Dict[str, np.ndarray]] = None,
+                   title: str = "repro mesh") -> Path:
+    """Write a tetrahedral mesh with optional cell/point fields."""
+    points = np.asarray(points, dtype=np.float64)
+    cells = np.asarray(cells, dtype=np.int64)
+    if cells.ndim != 2 or cells.shape[1] != 4:
+        raise ValueError("cells must be (ncells, 4) tetrahedra")
+    lines = _header(title) + _points_block(points)
+    n = cells.shape[0]
+    lines.append(f"CELLS {n} {n * 5}")
+    lines += ["4 " + " ".join(str(int(v)) for v in c) for c in cells]
+    lines.append(f"CELL_TYPES {n}")
+    lines += [str(_VTK_TET)] * n
+    lines += _data_blocks("CELL_DATA", n, cell_data)
+    lines += _data_blocks("POINT_DATA", len(points), point_data)
+    path = Path(path)
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def write_vtk_particles(path: Union[str, Path], positions: np.ndarray,
+                        fields: Optional[Dict[str, np.ndarray]] = None,
+                        title: str = "repro particles") -> Path:
+    """Write a particle cloud as VTK vertex cells with attributes."""
+    positions = np.asarray(positions, dtype=np.float64)
+    if positions.ndim != 2 or positions.shape[1] != 3:
+        raise ValueError("positions must be (n, 3)")
+    n = positions.shape[0]
+    lines = _header(title) + _points_block(positions)
+    lines.append(f"CELLS {n} {n * 2}")
+    lines += [f"1 {i}" for i in range(n)]
+    lines.append(f"CELL_TYPES {n}")
+    lines += [str(_VTK_VERTEX)] * n
+    lines += _data_blocks("POINT_DATA", n, fields)
+    path = Path(path)
+    path.write_text("\n".join(lines) + "\n")
+    return path

@@ -1,0 +1,44 @@
+"""The paper's future-work target: Intel GPU code generation ("extend
+the code-generation to produce parallelizations for other architectures,
+such as Intel GPUs")."""
+import numpy as np
+import pytest
+
+from repro.apps.cabana import CabanaConfig, CabanaSimulation
+from repro.backends import available_backends, make_backend
+from repro.perf import MACHINES, kernel_time
+
+
+def test_xe_backend_registered():
+    assert "xe" in available_backends()
+    be = make_backend("xe")
+    assert be.kind == "xe"
+    assert be.strategy_name == "atomics"
+
+
+def test_xe_runs_applications():
+    base = CabanaSimulation(CabanaConfig.smoke())
+    base.run()
+    xe = CabanaSimulation(CabanaConfig.smoke().scaled(backend="xe"))
+    xe.run()
+    np.testing.assert_allclose(xe.history["e_energy"],
+                               base.history["e_energy"], rtol=1e-10)
+    st = xe.ctx.perf.get("Interpolate")
+    assert st.extras.get("device") == "xe"
+
+
+def test_max_1550_in_catalogue():
+    m = MACHINES["max_1550"]
+    assert m.kind == "gpu"
+    assert m.peak_gflops > MACHINES["mi250x_gcd"].peak_gflops
+    # pricing works end to end
+    sim = CabanaSimulation(CabanaConfig.smoke().scaled(backend="xe"))
+    sim.run()
+    t = kernel_time(sim.ctx.perf.get("Move_Deposit"), m, "atomics")
+    assert t > 0
+
+
+def test_unknown_device_kind_rejected():
+    from repro.backends import DeviceBackend
+    with pytest.raises(ValueError):
+        DeviceBackend(kind="tpu")

@@ -1,0 +1,97 @@
+"""Race-handling strategies: all five must compute the same sums."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backends.reduction import (AtomicAdd, Coloring, ScatterArrays,
+                                      SegmentedReduction, UnsafeAtomicAdd,
+                                      make_strategy)
+
+ALL = ["atomics", "unsafe_atomics", "segmented_reduction",
+       "scatter_arrays", "coloring"]
+
+
+def reference_sum(shape, rows, values):
+    out = np.zeros(shape)
+    np.add.at(out, rows, values)
+    return out
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_matches_reference(name, rng):
+    target = np.zeros((20, 3))
+    rows = rng.integers(0, 20, size=500)
+    values = rng.normal(size=(500, 3))
+    expected = target + reference_sum(target.shape, rows, values)
+    strat = make_strategy(name)
+    strat.apply(target, rows, values)
+    np.testing.assert_allclose(target, expected, rtol=1e-12, atol=1e-12)
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_accumulates_onto_existing(name, rng):
+    target = rng.normal(size=(5, 2))
+    base = target.copy()
+    rows = np.array([0, 0, 4])
+    values = np.ones((3, 2))
+    make_strategy(name).apply(target, rows, values)
+    np.testing.assert_allclose(target - base,
+                               reference_sum(target.shape, rows, values),
+                               rtol=1e-12, atol=1e-12)
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_empty_batch(name):
+    target = np.ones((4, 1))
+    out = make_strategy(name).apply(target, np.empty(0, dtype=np.int64),
+                                    np.empty((0, 1)))
+    assert (target == 1.0).all()
+    assert out == 0
+
+
+def test_collision_reporting():
+    target = np.zeros((4, 1))
+    rows = np.array([1, 1, 1, 2])
+    values = np.ones((4, 1))
+    assert AtomicAdd().apply(target, rows, values) == 3
+    target[:] = 0
+    assert UnsafeAtomicAdd().apply(target, rows, values) == 3
+    target[:] = 0
+    assert SegmentedReduction().apply(target, rows, values) == 3
+
+
+def test_coloring_returns_colour_count():
+    target = np.zeros((4, 1))
+    rows = np.array([0, 0, 0, 1])
+    ncolours = Coloring().apply(target, rows, np.ones((4, 1)))
+    assert ncolours == 3  # worst-case multiplicity
+
+
+def test_scatter_arrays_thread_counts():
+    with pytest.raises(ValueError):
+        ScatterArrays(nthreads=0)
+    target = np.zeros((6, 1))
+    rows = np.arange(6)
+    ScatterArrays(nthreads=4).apply(target, rows, np.ones((6, 1)))
+    assert (target == 1.0).all()
+
+
+def test_unknown_strategy():
+    with pytest.raises(ValueError):
+        make_strategy("quantum")
+
+
+@settings(max_examples=30, deadline=None)
+@given(n_rows=st.integers(1, 30), n=st.integers(0, 200),
+       seed=st.integers(0, 2**16),
+       name=st.sampled_from(ALL))
+def test_property_all_strategies_equal_reference(n_rows, n, seed, name):
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, n_rows, size=n)
+    values = rng.normal(size=(n, 2))
+    target = np.zeros((n_rows, 2))
+    make_strategy(name).apply(target, rows, values)
+    np.testing.assert_allclose(
+        target, reference_sum(target.shape, rows, values),
+        rtol=1e-10, atol=1e-10)

@@ -1,0 +1,44 @@
+"""Shared fixtures.
+
+Kernel constants (``CONST``) are process-global (mirroring
+``opp_decl_const``); tests that declare constants must not leak into each
+other, so every test runs against a snapshot-restored registry.
+"""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.kernel import CONST
+
+
+@pytest.fixture(autouse=True)
+def _isolate_constants():
+    saved = CONST.snapshot()
+    yield
+    CONST.clear()
+    for k, v in saved.items():
+        CONST.declare(k, v)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+def pytest_addoption(parser):
+    parser.addoption("--slow", action="store_true", default=False,
+                     help="run slow tests")
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--slow"):
+        return
+    skip = pytest.mark.skip(reason="slow test: pass --slow to run")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip)
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: long-running test")

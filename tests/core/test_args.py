@@ -1,0 +1,92 @@
+"""Argument descriptors: addressing kinds, validation, index gathering."""
+import numpy as np
+import pytest
+
+from repro.core.api import (OPP_INC, OPP_READ, OPP_RW, OPP_WRITE, arg_dat,
+                            arg_gbl, decl_dat, decl_global, decl_map,
+                            decl_particle_set, decl_set)
+from repro.core.args import ArgKind
+
+
+@pytest.fixture
+def world():
+    cells = decl_set(3, "cells")
+    nodes = decl_set(5, "nodes")
+    parts = decl_particle_set(cells, 4, "parts")
+    c2n = decl_map(cells, nodes, 2, [[0, 1], [1, 2], [3, 4]])
+    p2c = decl_map(parts, cells, 1, [[0], [1], [1], [2]])
+    cdat = decl_dat(cells, 1, np.float64, [10.0, 20.0, 30.0])
+    ndat = decl_dat(nodes, 1, np.float64, np.arange(5.0))
+    pdat = decl_dat(parts, 1, np.float64, np.arange(4.0))
+    return locals()
+
+
+def test_direct_arg(world):
+    a = arg_dat(world["pdat"], OPP_READ)
+    assert a.kind == ArgKind.DIRECT
+    a.validate_against(world["parts"])
+    idx = np.array([0, 2])
+    assert a.gather_indices(idx).tolist() == [0, 2]
+
+
+def test_indirect_arg(world):
+    a = arg_dat(world["ndat"], 1, world["c2n"], OPP_READ)
+    assert a.kind == ArgKind.INDIRECT
+    a.validate_against(world["cells"])
+    assert a.gather_indices(np.array([0, 1, 2])).tolist() == [1, 2, 4]
+
+
+def test_p2c_arg(world):
+    a = arg_dat(world["cdat"], world["p2c"], OPP_READ)
+    assert a.kind == ArgKind.P2C
+    a.validate_against(world["parts"])
+    assert a.gather_indices(np.arange(4)).tolist() == [0, 1, 1, 2]
+
+
+def test_double_indirect_arg(world):
+    a = arg_dat(world["ndat"], 0, world["c2n"], world["p2c"], OPP_INC)
+    assert a.kind == ArgKind.DOUBLE
+    a.validate_against(world["parts"])
+    # particle -> cell [0,1,1,2] -> node component 0 -> [0,1,1,3]
+    assert a.gather_indices(np.arange(4)).tolist() == [0, 1, 1, 3]
+
+
+def test_move_hop_cell_override(world):
+    a = arg_dat(world["cdat"], world["p2c"], OPP_READ)
+    cells = np.array([2, 2, 0, 1])
+    assert a.gather_indices(np.arange(4), cells).tolist() == [2, 2, 0, 1]
+
+
+def test_validation_catches_wrong_sets(world):
+    a = arg_dat(world["cdat"], OPP_READ)
+    with pytest.raises(ValueError):
+        a.validate_against(world["nodes"])
+    b = arg_dat(world["ndat"], 0, world["c2n"], OPP_READ)
+    with pytest.raises(ValueError):
+        b.validate_against(world["nodes"])  # map starts at cells
+
+
+def test_map_index_range_checked(world):
+    with pytest.raises(IndexError):
+        arg_dat(world["ndat"], 2, world["c2n"], OPP_READ)
+
+
+def test_particle_map_not_accepted_as_mesh_map(world):
+    with pytest.raises(ValueError):
+        arg_dat(world["cdat"], 0, world["p2c"], OPP_READ)
+
+
+def test_global_arg_modes():
+    g = decl_global(1)
+    assert arg_gbl(g, OPP_INC).is_global
+    with pytest.raises(ValueError):
+        arg_gbl(g, OPP_WRITE)
+    with pytest.raises(ValueError):
+        arg_gbl(g, OPP_RW)
+
+
+def test_arg_dat_requires_trailing_access(world):
+    with pytest.raises(TypeError):
+        arg_dat(world["cdat"])
+    with pytest.raises(TypeError):
+        arg_dat(world["cdat"], 0, world["c2n"])

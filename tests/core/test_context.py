@@ -1,0 +1,57 @@
+"""Context and backend selection."""
+import pytest
+
+from repro.backends import (DeviceBackend, OmpBackend, SeqBackend,
+                            VecBackend, available_backends, make_backend)
+from repro.core.api import Context, get_context, push_context, set_backend
+
+
+def test_registry_names():
+    assert {"seq", "vec", "omp", "cuda", "hip", "xe"} <= \
+        set(available_backends())
+
+
+def test_make_backend_types():
+    assert isinstance(make_backend("seq"), SeqBackend)
+    assert isinstance(make_backend("vec"), VecBackend)
+    assert isinstance(make_backend("omp"), OmpBackend)
+    cuda = make_backend("cuda")
+    hip = make_backend("hip")
+    assert isinstance(cuda, DeviceBackend) and cuda.kind == "cuda"
+    assert isinstance(hip, DeviceBackend) and hip.kind == "hip"
+
+
+def test_unknown_backend_raises():
+    with pytest.raises(ValueError):
+        make_backend("fpga")
+
+
+def test_device_strategy_defaults():
+    assert make_backend("cuda").strategy_name == "atomics"
+    assert make_backend("hip").strategy_name == "unsafe_atomics"
+    sr = make_backend("hip", strategy="segmented_reduction")
+    assert sr.strategy_name == "segmented_reduction"
+
+
+def test_omp_threads_option():
+    be = make_backend("omp", nthreads=8)
+    assert be.nthreads == 8
+    assert be.strategy.nthreads == 8
+
+
+def test_push_context_restores():
+    outer = get_context()
+    inner = Context("vec")
+    with push_context(inner):
+        assert get_context() is inner
+    assert get_context() is outer
+
+
+def test_set_backend_switches_global():
+    before = get_context().backend_name
+    try:
+        ctx = set_backend("omp", nthreads=2)
+        assert ctx.backend_name == "omp"
+        assert get_context().backend.nthreads == 2
+    finally:
+        set_backend(before)

@@ -1,0 +1,90 @@
+"""Dats and globals: shapes, views, growth, validation."""
+import numpy as np
+import pytest
+
+from repro.core.api import (decl_dat, decl_global, decl_particle_set,
+                            decl_set)
+
+
+def test_dat_zero_initialised():
+    s = decl_set(5)
+    d = decl_dat(s, 3, np.float64)
+    assert d.data.shape == (5, 3)
+    assert (d.data == 0).all()
+
+
+def test_dat_accepts_flat_and_2d_data():
+    s = decl_set(4)
+    d1 = decl_dat(s, 1, np.float64, [1.0, 2.0, 3.0, 4.0])
+    assert d1.data[:, 0].tolist() == [1.0, 2.0, 3.0, 4.0]
+    d2 = decl_dat(s, 2, np.float64, np.arange(8.0).reshape(4, 2))
+    assert d2.data[3, 1] == 7.0
+
+
+def test_dat_shape_mismatch_raises():
+    s = decl_set(4)
+    with pytest.raises(ValueError):
+        decl_dat(s, 2, np.float64, np.zeros((3, 2)))
+
+
+def test_dat_dim_must_be_positive():
+    s = decl_set(4)
+    with pytest.raises(ValueError):
+        decl_dat(s, 0, np.float64)
+
+
+def test_dat_dtype_names():
+    s = decl_set(2)
+    assert decl_dat(s, 1, "real").dtype == np.float64
+    assert decl_dat(s, 1, "int").dtype == np.int64
+    with pytest.raises(ValueError):
+        decl_dat(s, 1, "quaternion")
+
+
+def test_data_ro_is_readonly_view():
+    s = decl_set(3)
+    d = decl_dat(s, 1, np.float64, [1.0, 2.0, 3.0])
+    ro = d.data_ro
+    with pytest.raises(ValueError):
+        ro[0] = 9.0
+    d.data[0] = 9.0
+    assert ro[0, 0] == 9.0  # a view, not a copy
+
+
+def test_particle_dat_tracks_live_region():
+    cells = decl_set(2)
+    p = decl_particle_set(cells, 2)
+    d = decl_dat(p, 1, np.float64, [5.0, 6.0])
+    assert d.data.shape == (2, 1)
+    p.add_particles(3)
+    assert d.data.shape == (5, 1)
+    assert d.data[:2, 0].tolist() == [5.0, 6.0]
+
+
+def test_dat_growth_preserves_content():
+    cells = decl_set(2)
+    p = decl_particle_set(cells, 2)
+    d = decl_dat(p, 2, np.float64, [[1, 2], [3, 4]])
+    p.add_particles(1000)
+    assert d.data[0].tolist() == [1.0, 2.0]
+    assert d.data[1].tolist() == [3.0, 4.0]
+
+
+def test_copy_from():
+    s = decl_set(3)
+    a = decl_dat(s, 1, np.float64, [1.0, 2.0, 3.0])
+    b = decl_dat(s, 1, np.float64)
+    b.copy_from(a)
+    assert b.data[:, 0].tolist() == [1.0, 2.0, 3.0]
+    other = decl_set(4)
+    c = decl_dat(other, 1, np.float64)
+    with pytest.raises(ValueError):
+        c.copy_from(a)
+
+
+def test_global_scalar():
+    g = decl_global(1, np.float64, data=[2.5], name="g")
+    assert g.value == 2.5
+    g2 = decl_global(3)
+    with pytest.raises(ValueError):
+        _ = g2.value

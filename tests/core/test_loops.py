@@ -1,0 +1,171 @@
+"""par_loop semantics across backends: direct, indirect, double-indirect,
+globals, injected iteration, owner-compute windows."""
+import numpy as np
+import pytest
+
+from repro.core.api import (CONST, OPP_INC, OPP_ITERATE_ALL,
+                            OPP_ITERATE_INJECTED, OPP_MAX, OPP_MIN,
+                            OPP_READ, OPP_RW, OPP_WRITE, Context, arg_dat,
+                            arg_gbl, decl_const, decl_dat, decl_global,
+                            decl_map, decl_particle_set, decl_set, par_loop,
+                            push_context)
+
+BACKENDS = ["seq", "vec", "omp", "cuda", "hip"]
+
+
+def double_kernel(x, y):
+    y[0] = 2.0 * x[0]
+
+
+def scale_by_const_kernel(x):
+    x[0] = x[0] * CONST.alpha
+
+
+def gather_sum_kernel(out, a, b):
+    out[0] = a[0] + b[0]
+
+
+def deposit_kernel(w, n0, n1):
+    n0[0] += 0.6 * w[0]
+    n1[0] += 0.4 * w[0]
+
+
+def reduce_kernel(x, total, lo, hi):
+    total[0] += x[0]
+    lo[0] = min(lo[0], x[0])
+    hi[0] = max(hi[0], x[0])
+
+
+def mark_kernel(x):
+    x[0] = 1.0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_direct_loop(backend):
+    with push_context(Context(backend)):
+        s = decl_set(7)
+        x = decl_dat(s, 1, np.float64, np.arange(7.0))
+        y = decl_dat(s, 1, np.float64)
+        par_loop(double_kernel, "double", s, OPP_ITERATE_ALL,
+                 arg_dat(x, OPP_READ), arg_dat(y, OPP_WRITE))
+        assert np.allclose(y.data[:, 0], 2.0 * np.arange(7.0))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_constants_in_kernels(backend):
+    decl_const("alpha", 3.0)
+    with push_context(Context(backend)):
+        s = decl_set(4)
+        x = decl_dat(s, 1, np.float64, [1.0, 2.0, 3.0, 4.0])
+        par_loop(scale_by_const_kernel, "scale", s, OPP_ITERATE_ALL,
+                 arg_dat(x, OPP_RW))
+        assert x.data[:, 0].tolist() == [3.0, 6.0, 9.0, 12.0]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_indirect_read(backend):
+    with push_context(Context(backend)):
+        cells = decl_set(3)
+        nodes = decl_set(4)
+        c2n = decl_map(cells, nodes, 2, [[0, 1], [1, 2], [2, 3]])
+        nd = decl_dat(nodes, 1, np.float64, [1.0, 2.0, 4.0, 8.0])
+        out = decl_dat(cells, 1, np.float64)
+        par_loop(gather_sum_kernel, "gather", cells, OPP_ITERATE_ALL,
+                 arg_dat(out, OPP_WRITE),
+                 arg_dat(nd, 0, c2n, OPP_READ),
+                 arg_dat(nd, 1, c2n, OPP_READ))
+        assert out.data[:, 0].tolist() == [3.0, 6.0, 12.0]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_double_indirect_increment(backend):
+    with push_context(Context(backend)):
+        cells = decl_set(2)
+        nodes = decl_set(3)
+        parts = decl_particle_set(cells, 4)
+        c2n = decl_map(cells, nodes, 2, [[0, 1], [1, 2]])
+        p2c = decl_map(parts, cells, 1, [[0], [0], [1], [1]])
+        w = decl_dat(parts, 1, np.float64, [1.0, 1.0, 1.0, 1.0])
+        nd = decl_dat(nodes, 1, np.float64)
+        par_loop(deposit_kernel, "deposit", parts, OPP_ITERATE_ALL,
+                 arg_dat(w, OPP_READ),
+                 arg_dat(nd, 0, c2n, p2c, OPP_INC),
+                 arg_dat(nd, 1, c2n, p2c, OPP_INC))
+        assert np.allclose(nd.data[:, 0], [1.2, 2.0, 0.8])
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_global_reductions(backend):
+    with push_context(Context(backend)):
+        s = decl_set(5)
+        x = decl_dat(s, 1, np.float64, [3.0, -1.0, 4.0, 1.0, 5.0])
+        total = decl_global(1, data=[0.0])
+        lo = decl_global(1, data=[np.inf])
+        hi = decl_global(1, data=[-np.inf])
+        par_loop(reduce_kernel, "reduce", s, OPP_ITERATE_ALL,
+                 arg_dat(x, OPP_READ),
+                 arg_gbl(total, OPP_INC),
+                 arg_gbl(lo, OPP_MIN),
+                 arg_gbl(hi, OPP_MAX))
+        assert total.value == 12.0
+        assert lo.value == -1.0
+        assert hi.value == 5.0
+
+
+@pytest.mark.parametrize("backend", ["seq", "vec"])
+def test_injected_iteration_only_touches_new(backend):
+    with push_context(Context(backend)):
+        cells = decl_set(2)
+        parts = decl_particle_set(cells, 3)
+        decl_map(parts, cells, 1, [[0], [0], [1]])
+        x = decl_dat(parts, 1, np.float64)
+        parts.begin_injection()
+        parts.add_particles(2, cell_indices=[0, 1])
+        par_loop(mark_kernel, "mark", parts, OPP_ITERATE_INJECTED,
+                 arg_dat(x, OPP_WRITE))
+        parts.end_injection()
+        assert x.data[:, 0].tolist() == [0.0, 0.0, 0.0, 1.0, 1.0]
+
+
+def test_injected_on_mesh_set_rejected():
+    s = decl_set(3)
+    x = decl_dat(s, 1, np.float64)
+    with pytest.raises(TypeError):
+        par_loop(mark_kernel, "mark", s, OPP_ITERATE_INJECTED,
+                 arg_dat(x, OPP_WRITE))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_owner_compute_window(backend):
+    """Loops only touch owned elements; halo rows stay untouched."""
+    with push_context(Context(backend)):
+        s = decl_set(6)
+        s.owned_size = 4
+        x = decl_dat(s, 1, np.float64)
+        par_loop(mark_kernel, "mark", s, OPP_ITERATE_ALL,
+                 arg_dat(x, OPP_WRITE))
+        assert x.data[:, 0].tolist() == [1.0, 1.0, 1.0, 1.0, 0.0, 0.0]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_empty_set_loop_is_noop(backend):
+    with push_context(Context(backend)):
+        cells = decl_set(2)
+        parts = decl_particle_set(cells, 0)
+        x = decl_dat(parts, 1, np.float64)
+        par_loop(mark_kernel, "mark", parts, OPP_ITERATE_ALL,
+                 arg_dat(x, OPP_WRITE))  # must not raise
+
+
+def test_loop_records_perf():
+    ctx = Context("vec")
+    with push_context(ctx):
+        s = decl_set(10)
+        x = decl_dat(s, 1, np.float64)
+        par_loop(mark_kernel, "marker", s, OPP_ITERATE_ALL,
+                 arg_dat(x, OPP_WRITE))
+    st = ctx.perf.get("marker")
+    assert st is not None
+    assert st.calls == 1
+    assert st.n_total == 10
+    assert st.nbytes > 0

@@ -1,0 +1,87 @@
+"""Connectivity maps: validation, particle maps, growth."""
+import numpy as np
+import pytest
+
+from repro.core.api import decl_map, decl_particle_set, decl_set
+
+
+def test_mesh_map_basics():
+    cells = decl_set(2)
+    nodes = decl_set(4)
+    m = decl_map(cells, nodes, 2, [[0, 1], [2, 3]])
+    assert m.values.shape == (2, 2)
+    assert not m.is_particle_map
+
+
+def test_mesh_map_accepts_flat_data():
+    cells = decl_set(2)
+    nodes = decl_set(4)
+    m = decl_map(cells, nodes, 2, [0, 1, 2, 3])
+    assert m.values[1].tolist() == [2, 3]
+
+
+def test_mesh_map_requires_data():
+    cells = decl_set(2)
+    nodes = decl_set(4)
+    with pytest.raises(ValueError):
+        decl_map(cells, nodes, 2, None)
+
+
+def test_map_index_bounds_checked():
+    cells = decl_set(2)
+    nodes = decl_set(4)
+    with pytest.raises(ValueError):
+        decl_map(cells, nodes, 2, [[0, 1], [2, 4]])  # 4 out of range
+    with pytest.raises(ValueError):
+        decl_map(cells, nodes, 2, [[0, -2], [1, 2]])  # below -1
+
+
+def test_minus_one_means_boundary():
+    cells = decl_set(2)
+    m = decl_map(cells, cells, 2, [[-1, 1], [0, -1]])
+    assert m.values[0, 0] == -1
+
+
+def test_particle_map_rules():
+    cells = decl_set(3)
+    other = decl_set(3)
+    p = decl_particle_set(cells, 2)
+    with pytest.raises(ValueError):
+        decl_map(p, cells, 2, None)       # arity must be 1
+    with pytest.raises(ValueError):
+        decl_map(p, other, 1, None)       # must target the cell set
+    m = decl_map(p, cells, 1, [[0], [2]])
+    assert m.is_particle_map
+    assert m.p2c.tolist() == [0, 2]
+    assert p.p2c_map is m
+
+
+def test_particle_map_null_decl_defaults_minus_one():
+    cells = decl_set(3)
+    p = decl_particle_set(cells, 2)
+    m = decl_map(p, cells, 1, None)
+    assert m.p2c.tolist() == [-1, -1]
+
+
+def test_p2c_accessor_rejects_mesh_maps():
+    cells = decl_set(2)
+    nodes = decl_set(2)
+    m = decl_map(cells, nodes, 1, [[0], [1]])
+    with pytest.raises(TypeError):
+        _ = m.p2c
+
+
+def test_particle_map_grows_with_set():
+    cells = decl_set(3)
+    p = decl_particle_set(cells, 1)
+    m = decl_map(p, cells, 1, [[1]])
+    p.add_particles(500, cell_indices=np.full(500, 2))
+    assert m.p2c[0] == 1
+    assert (m.p2c[1:] == 2).all()
+
+
+def test_arity_must_be_positive():
+    cells = decl_set(2)
+    nodes = decl_set(2)
+    with pytest.raises(ValueError):
+        decl_map(cells, nodes, 0, [])

@@ -1,0 +1,63 @@
+"""Auxiliary particle operations: sorting, shuffling, occupancy."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.api import (decl_dat, decl_map, decl_particle_set, decl_set,
+                            shuffle_particles, sort_particles_by_cell)
+from repro.core.particles import cell_occupancy, max_cell_occupancy
+
+
+def make(cell_ids):
+    cells = decl_set(int(max(cell_ids)) + 1 if len(cell_ids) else 1)
+    p = decl_particle_set(cells, len(cell_ids))
+    m = decl_map(p, cells, 1, np.asarray(cell_ids).reshape(-1, 1))
+    d = decl_dat(p, 1, np.float64, np.arange(float(len(cell_ids))))
+    return cells, p, m, d
+
+
+def test_sort_groups_cells_contiguously():
+    _, p, m, d = make([2, 0, 1, 0, 2, 1])
+    sort_particles_by_cell(p)
+    assert m.p2c.tolist() == [0, 0, 1, 1, 2, 2]
+    # stable: original relative order preserved within each cell
+    assert d.data[:, 0].tolist() == [1.0, 3.0, 2.0, 5.0, 0.0, 4.0]
+
+
+def test_shuffle_preserves_pairing():
+    _, p, m, d = make([0, 1, 2, 3, 0, 1])
+    before = {(int(c), float(v)) for c, v in zip(m.p2c, d.data[:, 0])}
+    shuffle_particles(p, np.random.default_rng(3))
+    after = {(int(c), float(v)) for c, v in zip(m.p2c, d.data[:, 0])}
+    assert before == after
+
+
+def test_occupancy_counts():
+    _, p, m, _ = make([0, 0, 2, 2, 2, 1])
+    occ = cell_occupancy(p)
+    assert occ.tolist() == [2, 1, 3]
+    assert max_cell_occupancy(p) == 3
+
+
+def test_occupancy_ignores_unassigned():
+    _, p, m, _ = make([0, 1, 1])
+    m.p2c[0] = -1
+    assert cell_occupancy(p).tolist() == [0, 2]
+
+
+def test_sort_requires_p2c_map():
+    cells = decl_set(2)
+    p = decl_particle_set(cells, 2)
+    with pytest.raises(ValueError):
+        sort_particles_by_cell(p)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(0, 7), min_size=1, max_size=60))
+def test_sort_is_permutation_and_sorted(cell_ids):
+    _, p, m, d = make(cell_ids)
+    sort_particles_by_cell(p)
+    assert (np.diff(m.p2c) >= 0).all()
+    assert sorted(d.data[:, 0].astype(int).tolist()) == \
+        list(range(len(cell_ids)))

@@ -1,0 +1,130 @@
+"""Sets and particle sets: sizing, capacity, injection, hole filling."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.api import decl_dat, decl_map, decl_particle_set, decl_set
+
+
+def test_set_basics():
+    s = decl_set(10, "cells")
+    assert len(s) == 10
+    assert s.owned_size == 10
+    assert not s.is_particle_set
+
+
+def test_set_rejects_negative_size():
+    with pytest.raises(ValueError):
+        decl_set(-1)
+
+
+def test_owned_size_clamps():
+    s = decl_set(10)
+    s.owned_size = 7
+    assert s.owned_size == 7
+    with pytest.raises(ValueError):
+        s.owned_size = 11
+    with pytest.raises(ValueError):
+        s.owned_size = -1
+
+
+def test_particle_set_requires_mesh_set():
+    cells = decl_set(4)
+    p = decl_particle_set(cells, 0, "parts")
+    with pytest.raises(TypeError):
+        decl_particle_set(p, 0, "parts_on_parts")
+
+
+def test_particle_owned_size_tracks_size():
+    cells = decl_set(4)
+    p = decl_particle_set(cells, 3)
+    assert p.owned_size == 3
+    p.add_particles(5)
+    assert p.owned_size == 8
+
+
+def test_add_particles_grows_capacity_and_zeroes():
+    cells = decl_set(4)
+    p = decl_particle_set(cells, 0)
+    d = decl_dat(p, 2, np.float64)
+    m = decl_map(p, cells, 1, None)
+    p.add_particles(100, cell_indices=np.zeros(100, dtype=int))
+    assert p.size == 100
+    assert p.capacity >= 100
+    assert (d.data == 0).all()
+    assert (m.p2c == 0).all()
+
+
+def test_add_particles_without_cells_marks_unassigned():
+    cells = decl_set(4)
+    p = decl_particle_set(cells, 0)
+    decl_map(p, cells, 1, None)
+    p.add_particles(3)
+    assert (p.p2c_map.p2c == -1).all()
+
+
+def test_injection_window():
+    cells = decl_set(4)
+    p = decl_particle_set(cells, 5)
+    p.begin_injection()
+    p.add_particles(3)
+    assert p.injected_start == 5
+    assert p.n_injected == 3
+    p.end_injection()
+    assert p.n_injected == 0
+
+
+def test_remove_particles_hole_fill():
+    cells = decl_set(4)
+    p = decl_particle_set(cells, 6)
+    d = decl_dat(p, 1, np.float64, np.arange(6.0))
+    m = decl_map(p, cells, 1, np.arange(6) % 4)
+    p.remove_particles(np.array([1, 4]))
+    assert p.size == 4
+    # survivors are {0,2,3,5} in some order
+    assert sorted(d.data[:, 0].tolist()) == [0.0, 2.0, 3.0, 5.0]
+    # map rows stayed aligned with dat rows
+    assert all(int(m.p2c[i]) == int(d.data[i, 0]) % 4 for i in range(4))
+
+
+def test_remove_all_particles():
+    cells = decl_set(2)
+    p = decl_particle_set(cells, 4)
+    decl_dat(p, 1, np.float64, np.arange(4.0))
+    p.remove_particles(np.arange(4))
+    assert p.size == 0
+
+
+def test_remove_out_of_range_raises():
+    cells = decl_set(2)
+    p = decl_particle_set(cells, 4)
+    with pytest.raises(IndexError):
+        p.remove_particles(np.array([4]))
+
+
+def test_compact_reorder_permutes_all_dats():
+    cells = decl_set(3)
+    p = decl_particle_set(cells, 4)
+    d = decl_dat(p, 1, np.float64, np.arange(4.0))
+    m = decl_map(p, cells, 1, [[0], [1], [2], [0]])
+    p.compact_reorder(np.array([3, 2, 1, 0]))
+    assert d.data[:, 0].tolist() == [3.0, 2.0, 1.0, 0.0]
+    assert m.p2c.tolist() == [0, 2, 1, 0]
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(1, 50),
+       frac=st.floats(0.0, 1.0),
+       seed=st.integers(0, 2**16))
+def test_remove_particles_preserves_survivor_multiset(n, frac, seed):
+    """Property: hole filling never loses or duplicates surviving rows."""
+    rng = np.random.default_rng(seed)
+    cells = decl_set(4)
+    p = decl_particle_set(cells, n)
+    d = decl_dat(p, 1, np.float64, np.arange(float(n)))
+    kill = np.flatnonzero(rng.random(n) < frac)
+    survivors = sorted(set(range(n)) - set(kill.tolist()))
+    p.remove_particles(kill)
+    assert p.size == len(survivors)
+    assert sorted(d.data[:, 0].astype(int).tolist()) == survivors

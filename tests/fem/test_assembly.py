@@ -1,0 +1,86 @@
+"""FEM assembly: stiffness properties, Dirichlet elimination, lumping."""
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.fem import DirichletSystem, build_stiffness, lumped_node_volumes
+from repro.mesh import duct_mesh
+
+
+@pytest.fixture(scope="module")
+def world():
+    mesh = duct_mesh(3, 3, 5, 1.0, 1.0, 1.5)
+    return mesh, build_stiffness(mesh.points, mesh.cell2node)
+
+
+def test_stiffness_symmetric(world):
+    _, k = world
+    assert abs(k - k.T).max() < 1e-12
+
+
+def test_stiffness_rows_sum_zero(world):
+    """Constants are in the kernel of the Laplacian: K·1 = 0."""
+    mesh, k = world
+    ones = np.ones(mesh.n_nodes)
+    assert np.abs(k @ ones).max() < 1e-11
+
+
+def test_harmonic_function_interior_residual(world):
+    mesh, k = world
+    phi = mesh.points @ np.array([1.0, -2.0, 0.5])
+    r = k @ phi
+    boundary = set(np.concatenate([mesh.tags["inlet_nodes"],
+                                   mesh.tags["wall_nodes"],
+                                   mesh.tags["outlet_nodes"]]).tolist())
+    interior = [i for i in range(mesh.n_nodes) if i not in boundary]
+    assert np.abs(r[interior]).max() < 1e-11
+
+
+def test_positive_semidefinite(world):
+    _, k = world
+    rng = np.random.default_rng(0)
+    for _ in range(5):
+        x = rng.normal(size=k.shape[0])
+        assert x @ (k @ x) >= -1e-10
+
+
+def test_lumped_volumes_sum_to_domain(world):
+    mesh, _ = world
+    v = lumped_node_volumes(mesh.points, mesh.cell2node)
+    assert v.sum() == pytest.approx(1.5)
+    assert (v > 0).all()
+
+
+def test_dirichlet_reduction_shapes(world):
+    mesh, k = world
+    dn = mesh.tags["wall_nodes"]
+    sys = DirichletSystem(k, dn, np.ones(len(dn)))
+    assert sys.k_ff.shape == (mesh.n_nodes - len(dn),) * 2
+    full = sys.full_vector(np.zeros(mesh.n_nodes - len(dn)))
+    assert (full[dn] == 1.0).all()
+
+
+def test_dirichlet_duplicate_nodes_rejected(world):
+    _, k = world
+    with pytest.raises(ValueError):
+        DirichletSystem(k, [1, 1], np.ones(2))
+
+
+def test_dirichlet_value_count_checked(world):
+    _, k = world
+    with pytest.raises(ValueError):
+        DirichletSystem(k, [1, 2], np.ones(3))
+
+
+def test_reduce_rhs_moves_coupling(world):
+    """Solving the reduced system must equal solving the full pinned
+    system."""
+    mesh, k = world
+    dn = np.concatenate([mesh.tags["inlet_nodes"], mesh.tags["wall_nodes"],
+                         mesh.tags["outlet_nodes"]])
+    dn = np.unique(dn)
+    phi_exact = mesh.points @ np.array([2.0, 1.0, -1.0])
+    sys = DirichletSystem(k, dn, phi_exact[dn])
+    rhs = sys.reduce_rhs(np.zeros(mesh.n_nodes))
+    x = sp.linalg.spsolve(sys.k_ff.tocsc(), rhs)
+    np.testing.assert_allclose(sys.full_vector(x), phi_exact, atol=1e-9)

@@ -1,0 +1,90 @@
+"""KSP-style CG solver: convergence, preconditioners, edge cases."""
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.fem import KSPSolver, jacobi_preconditioner, ssor_preconditioner
+
+
+def spd_matrix(n, rng, density=0.2):
+    a = sp.random(n, n, density=density, random_state=np.random.RandomState(
+        rng.integers(2**31)))
+    a = a + a.T + 2.0 * n * sp.eye(n)
+    return a.tocsr()
+
+
+@pytest.mark.parametrize("pc", ["jacobi", "ssor", "none"])
+def test_cg_solves_spd_system(pc, rng):
+    a = spd_matrix(60, rng)
+    x_true = rng.normal(size=60)
+    b = a @ x_true
+    res = KSPSolver(a, pc=pc, rtol=1e-12).solve(b)
+    assert res.converged
+    np.testing.assert_allclose(res.x, x_true, rtol=1e-8, atol=1e-8)
+
+
+def test_initial_guess_speeds_convergence(rng):
+    a = spd_matrix(80, rng)
+    x_true = rng.normal(size=80)
+    b = a @ x_true
+    cold = KSPSolver(a, rtol=1e-10).solve(b)
+    warm = KSPSolver(a, rtol=1e-10).solve(b, x0=x_true + 1e-8)
+    assert warm.iterations <= cold.iterations
+
+
+def test_zero_rhs_returns_zero(rng):
+    a = spd_matrix(10, rng)
+    res = KSPSolver(a).solve(np.zeros(10))
+    assert res.converged
+    np.testing.assert_allclose(res.x, 0.0)
+
+
+def test_max_iterations_respected(rng):
+    a = spd_matrix(50, rng)
+    b = rng.normal(size=50)
+    res = KSPSolver(a, pc="none", rtol=1e-16, atol=0.0, max_it=2).solve(b)
+    assert res.iterations <= 2
+
+
+def test_rhs_shape_checked(rng):
+    a = spd_matrix(5, rng)
+    with pytest.raises(ValueError):
+        KSPSolver(a).solve(np.zeros(6))
+
+
+def test_nonsquare_rejected():
+    with pytest.raises(ValueError):
+        KSPSolver(sp.random(3, 4, density=0.5).tocsr())
+
+
+def test_unknown_pc_rejected(rng):
+    with pytest.raises(ValueError):
+        KSPSolver(spd_matrix(4, rng), pc="multigrid")
+
+
+def test_jacobi_rejects_zero_diagonal():
+    a = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 2.0]]))
+    with pytest.raises(ValueError):
+        jacobi_preconditioner(a)
+
+
+def test_ssor_omega_validated(rng):
+    a = spd_matrix(4, rng)
+    with pytest.raises(ValueError):
+        ssor_preconditioner(a, omega=2.5)
+
+
+def test_jacobi_application(rng):
+    a = sp.diags([2.0, 4.0, 8.0]).tocsr()
+    pc = jacobi_preconditioner(a)
+    np.testing.assert_allclose(pc(np.array([2.0, 4.0, 8.0])), 1.0)
+
+
+def test_pc_accelerates_ill_conditioned():
+    n = 100
+    diag = np.logspace(0, 4, n)
+    a = sp.diags(diag).tocsr()
+    b = np.ones(n)
+    plain = KSPSolver(a, pc="none", rtol=1e-10).solve(b)
+    jac = KSPSolver(a, pc="jacobi", rtol=1e-10).solve(b)
+    assert jac.iterations < plain.iterations

@@ -1,0 +1,160 @@
+"""Monte-Carlo collisions: statistics and invariants."""
+import numpy as np
+import pytest
+
+from repro.core.api import Context, decl_dat, decl_particle_set, decl_set, \
+    push_context
+from repro.field.collisions import MCCollisions
+
+
+def make_swarm(n, vel0=(1.0, 0.0, 0.0)):
+    cells = decl_set(4)
+    p = decl_particle_set(cells, n)
+    vel = decl_dat(p, 3, np.float64, np.tile(vel0, (n, 1)))
+    return p, vel
+
+
+@pytest.mark.parametrize("backend", ["seq", "vec"])
+def test_speed_preserved(backend, rng):
+    with push_context(Context(backend)):
+        p, vel = make_swarm(500, (0.6, -0.8, 0.0))
+        mcc = MCCollisions(p, vel, frequency=50.0, dt=0.1, seed=2)
+        scattered = mcc.apply()
+        assert scattered > 400          # p = 1 - e^-5 ≈ 0.993
+        speeds = np.linalg.norm(vel.data, axis=1)
+        np.testing.assert_allclose(speeds, 1.0, rtol=1e-12)
+
+
+def test_collision_rate_matches_probability():
+    with push_context(Context("vec")):
+        p, vel = make_swarm(20_000)
+        mcc = MCCollisions(p, vel, frequency=1.0, dt=0.5, seed=3)
+        expected = 1.0 - np.exp(-0.5)
+        scattered = mcc.apply()
+        assert scattered / p.size == pytest.approx(expected, abs=0.02)
+        assert mcc.total_collisions == scattered
+
+
+def test_isotropization():
+    """A beam relaxes to zero mean velocity under frequent collisions."""
+    with push_context(Context("vec")):
+        p, vel = make_swarm(20_000, (1.0, 0.0, 0.0))
+        mcc = MCCollisions(p, vel, frequency=100.0, dt=1.0, seed=4)
+        for _ in range(3):
+            mcc.apply()
+        mean = vel.data.mean(axis=0)
+        assert np.linalg.norm(mean) < 0.03
+        # energy unchanged by elastic heavy-target scattering
+        assert (np.linalg.norm(vel.data, axis=1) ** 2).mean() == \
+            pytest.approx(1.0, rel=1e-12)
+
+
+def test_zero_frequency_never_scatters():
+    with push_context(Context("vec")):
+        p, vel = make_swarm(100)
+        mcc = MCCollisions(p, vel, frequency=0.0, dt=1.0)
+        assert mcc.apply() == 0
+        np.testing.assert_array_equal(vel.data[:, 0], 1.0)
+
+
+def test_seq_vec_same_draws_same_result():
+    out = {}
+    for backend in ("seq", "vec"):
+        with push_context(Context(backend)):
+            p, vel = make_swarm(200, (0.0, 0.0, 2.0))
+            mcc = MCCollisions(p, vel, frequency=5.0, dt=0.2, seed=9)
+            mcc.apply()
+            out[backend] = vel.data.copy()
+    np.testing.assert_allclose(out["seq"], out["vec"], rtol=1e-13)
+
+
+def test_validation():
+    cells = decl_set(2)
+    p = decl_particle_set(cells, 3)
+    wrong_dim = decl_dat(p, 2, np.float64)
+    with pytest.raises(ValueError):
+        MCCollisions(p, wrong_dim, 1.0, 0.1)
+    vel = decl_dat(p, 3, np.float64)
+    with pytest.raises(ValueError):
+        MCCollisions(p, vel, -1.0, 0.1)
+    with pytest.raises(ValueError):
+        MCCollisions(p, vel, 1.0, 0.0)
+
+
+def test_empty_set_noop():
+    with push_context(Context("vec")):
+        cells = decl_set(2)
+        p = decl_particle_set(cells, 0)
+        vel = decl_dat(p, 3, np.float64)
+        mcc = MCCollisions(p, vel, 1.0, 0.1)
+        assert mcc.apply() == 0
+
+
+# -- ionization -----------------------------------------------------------------
+
+from repro.field.collisions import MCCIonization  # noqa: E402
+
+
+def make_energetic_swarm(n, speed=3.0):
+    cells = decl_set(4)
+    p = decl_particle_set(cells, n)
+    from repro.core.api import decl_map
+    p2c = decl_map(p, cells, 1,
+                   (np.arange(n) % 4).reshape(-1, 1))
+    vel = decl_dat(p, 3, np.float64,
+                   np.tile([speed, 0.0, 0.0], (n, 1)))
+    pos = decl_dat(p, 3, np.float64,
+                   np.arange(3.0 * n).reshape(n, 3))
+    return p, p2c, vel, pos
+
+
+@pytest.mark.parametrize("backend", ["seq", "vec"])
+def test_ionization_creates_secondaries(backend):
+    with push_context(Context(backend)):
+        p, p2c, vel, pos = make_energetic_swarm(300)
+        ion = MCCIonization(p, vel, p2c, frequency=50.0, dt=0.1,
+                            threshold=1.0, energy_cost=1.0, seed=6,
+                            extra_dats=[pos])
+        born = ion.apply()
+        assert born > 250                    # p ≈ 0.993, KE = 4.5 > 1
+        assert p.size == 300 + born
+        # secondaries inherit cell and position from their parents
+        assert (p2c.p2c[300:] >= 0).all()
+        parents_ke = 0.5 * (vel.data[:300] ** 2).sum(axis=1)
+        np.testing.assert_allclose(parents_ke[parents_ke < 4.0],
+                                   4.5 - 1.0, rtol=1e-12)
+        secondary_ke = 0.5 * (vel.data[300:] ** 2).sum(axis=1)
+        assert secondary_ke.mean() < 0.1     # born slow
+
+
+def test_no_ionization_below_threshold():
+    with push_context(Context("vec")):
+        p, p2c, vel, pos = make_energetic_swarm(100, speed=0.5)
+        ion = MCCIonization(p, vel, p2c, frequency=100.0, dt=1.0,
+                            threshold=1.0, energy_cost=0.5)
+        assert ion.apply() == 0
+        assert p.size == 100
+
+
+def test_ionization_energy_bookkeeping():
+    """Total kinetic energy drops by ~cost per event (secondaries are
+    born almost at rest)."""
+    with push_context(Context("vec")):
+        p, p2c, vel, pos = make_energetic_swarm(500)
+        ke_before = 0.5 * (vel.data ** 2).sum()
+        ion = MCCIonization(p, vel, p2c, frequency=2.0, dt=0.25,
+                            threshold=1.0, energy_cost=1.0, seed=1)
+        born = ion.apply()
+        ke_after = 0.5 * (vel.data ** 2).sum()
+        assert born > 0
+        assert ke_after == pytest.approx(ke_before - born, rel=0.02)
+
+
+def test_ionization_validation():
+    p, p2c, vel, pos = make_energetic_swarm(4)
+    with pytest.raises(ValueError):
+        MCCIonization(p, vel, p2c, 1.0, 0.1, threshold=1.0,
+                      energy_cost=2.0)      # cost above threshold
+    with pytest.raises(ValueError):
+        MCCIonization(p, vel, p2c, -1.0, 0.1, threshold=1.0,
+                      energy_cost=0.5)

@@ -1,0 +1,39 @@
+"""Vacuum FDTD checks of the CabanaPIC field kernels."""
+import numpy as np
+import pytest
+
+from repro.field import seed_standing_wave, vacuum_cavity_energy_series
+
+
+def test_vacuum_energy_bounded():
+    """Leap-frog E/B energies oscillate but the total must not drift."""
+    ee, be = vacuum_cavity_energy_series(nz=16, steps=64)
+    total = ee + be
+    # bounded oscillation, no secular growth/decay
+    first = total[: len(total) // 2].mean()
+    second = total[len(total) // 2:].mean()
+    assert abs(second - first) / first < 1e-6
+    assert (total.max() - total.min()) / total.mean() < 0.05
+
+
+def test_energy_exchanges_between_e_and_b():
+    ee, be = vacuum_cavity_energy_series(nz=16, steps=64)
+    assert be.max() > 0.1 * ee.max()   # a real standing-wave exchange
+    assert ee.min() < 0.9 * ee.max()
+
+
+def test_zero_field_stays_zero():
+    from repro.apps.cabana import CabanaConfig, CabanaSimulation
+    sim = CabanaSimulation(CabanaConfig(nx=2, ny=2, nz=4, ppc=0, n_steps=3))
+    sim.run()
+    assert sim.history["e_energy"] == [0.0, 0.0, 0.0]
+    assert sim.history["b_energy"] == [0.0, 0.0, 0.0]
+
+
+def test_seed_standing_wave_shape():
+    from repro.apps.cabana import CabanaConfig, CabanaSimulation
+    sim = CabanaSimulation(CabanaConfig(nx=2, ny=2, nz=8, ppc=0))
+    seed_standing_wave(sim, mode=2, amplitude=0.5)
+    ex = sim.e.data[:, 0]
+    assert ex.max() <= 0.5 + 1e-12
+    assert ex.min() < 0   # mode 2 has sign changes

@@ -1,0 +1,44 @@
+"""Plasma theory helpers."""
+import math
+
+import numpy as np
+import pytest
+
+from repro.field import (fastest_growing_mode, fit_exponential_rate,
+                         plasma_frequency, two_stream_growth_rate)
+
+
+def test_plasma_frequency():
+    assert plasma_frequency(1.0) == pytest.approx(1.0)
+    assert plasma_frequency(4.0, mass=4.0) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        plasma_frequency(-1.0)
+
+
+def test_growth_rate_stable_regime():
+    # large k·v0 is stable
+    assert two_stream_growth_rate(k=100.0, v0=1.0, wp=1.0) == 0.0
+
+
+def test_growth_rate_unstable_regime():
+    g = two_stream_growth_rate(k=0.5, v0=1.0, wp=1.0)
+    assert g > 0
+
+
+def test_max_growth_at_fastest_mode():
+    wp, v0 = 1.0, 0.2
+    k_star = fastest_growing_mode(v0, wp)
+    g_star = two_stream_growth_rate(k_star, v0, wp)
+    assert g_star == pytest.approx(wp / math.sqrt(8.0), rel=1e-12)
+    for k in (0.5 * k_star, 1.5 * k_star):
+        assert two_stream_growth_rate(k, v0, wp) < g_star
+
+
+def test_fit_exponential_rate():
+    t = np.linspace(0.0, 5.0, 50)
+    e = 3.0 * np.exp(0.7 * t)
+    assert fit_exponential_rate(t, e) == pytest.approx(0.7, rel=1e-10)
+    with pytest.raises(ValueError):
+        fit_exponential_rate(t, -e)
+    with pytest.raises(ValueError):
+        fit_exponential_rate(t[:5], e)

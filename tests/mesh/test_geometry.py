@@ -1,0 +1,107 @@
+"""Tet geometry: volumes, barycentric transforms, gradients — with
+hypothesis property tests on random non-degenerate tetrahedra."""
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.mesh.geometry import (barycentric_coords, p1_gradients,
+                                 points_in_tets,
+                                 tet_barycentric_transforms, tet_centroids,
+                                 tet_volumes)
+
+UNIT_TET = np.array([[0.0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1]])
+CELLS1 = np.array([[0, 1, 2, 3]])
+
+
+def test_unit_tet_volume():
+    assert tet_volumes(UNIT_TET, CELLS1)[0] == pytest.approx(1.0 / 6.0)
+
+
+def test_centroid():
+    np.testing.assert_allclose(tet_centroids(UNIT_TET, CELLS1)[0],
+                               [0.25, 0.25, 0.25])
+
+
+def test_barycentric_at_vertices():
+    xf = tet_barycentric_transforms(UNIT_TET, CELLS1)
+    for i, v in enumerate(UNIT_TET):
+        lam = barycentric_coords(xf, v.reshape(1, 3))[0]
+        expected = np.zeros(4)
+        expected[i] = 1.0
+        np.testing.assert_allclose(lam, expected, atol=1e-14)
+
+
+def test_barycentric_at_centroid():
+    xf = tet_barycentric_transforms(UNIT_TET, CELLS1)
+    lam = barycentric_coords(xf, np.array([[0.25, 0.25, 0.25]]))[0]
+    np.testing.assert_allclose(lam, [0.25] * 4, atol=1e-14)
+
+
+def test_points_in_tets():
+    xf = tet_barycentric_transforms(UNIT_TET, CELLS1)
+    inside = np.array([[0.1, 0.1, 0.1]])
+    outside = np.array([[0.9, 0.9, 0.9]])
+    assert points_in_tets(xf, inside)[0]
+    assert not points_in_tets(xf, outside)[0]
+
+
+def test_gradients_partition_of_unity():
+    grads, vols = p1_gradients(UNIT_TET, CELLS1)
+    np.testing.assert_allclose(grads.sum(axis=1), 0.0, atol=1e-14)
+    assert vols[0] == pytest.approx(1.0 / 6.0)
+
+
+def test_gradient_reproduces_linear_field():
+    """∇(Σ φ_i λ_i) must equal the exact gradient of a linear field."""
+    grads, _ = p1_gradients(UNIT_TET, CELLS1)
+    coeffs = np.array([3.0, -1.0, 2.0])  # φ = 3x - y + 2z
+    phi = UNIT_TET @ coeffs
+    grad = np.einsum("i,id->d", phi, grads[0])
+    np.testing.assert_allclose(grad, coeffs, atol=1e-13)
+
+
+coords = st.floats(-10, 10, allow_nan=False)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(coords, min_size=12, max_size=12),
+       st.lists(st.floats(0.01, 1.0), min_size=3, max_size=3))
+def test_property_barycentric_roundtrip(flat, lam_raw):
+    """For any non-degenerate tet, λ(x(λ)) = λ and Σλ = 1."""
+    pts = np.array(flat).reshape(4, 3) + UNIT_TET * 5.0
+    vol = tet_volumes(pts, CELLS1)[0]
+    assume(abs(vol) > 1e-2)
+    if vol < 0:
+        pts = pts[[0, 2, 1, 3]]
+    lam123 = np.array(lam_raw)
+    lam123 = lam123 / (lam123.sum() + 1.0)  # interior by construction
+    lam = np.concatenate([[1.0 - lam123.sum()], lam123])
+    x = (lam[:, None] * pts).sum(axis=0)
+    xf = tet_barycentric_transforms(pts, CELLS1)
+    out = barycentric_coords(xf, x.reshape(1, 3))[0]
+    np.testing.assert_allclose(out, lam, atol=1e-7)
+    assert out.sum() == pytest.approx(1.0, abs=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(coords, min_size=12, max_size=12))
+def test_property_gradients_orthogonality(flat):
+    flat = list(flat)
+    """∇λ_i · (v_j − v_i-opposite-face) structure: λ_i is 1 at v_i and 0
+    at the other vertices, so grads satisfy ∇λ_i · (v_j − v_k) patterns;
+    check via direct evaluation at vertices."""
+    pts = np.array(flat).reshape(4, 3) + UNIT_TET * 5.0
+    vol = tet_volumes(pts, CELLS1)[0]
+    assume(abs(vol) > 1e-2)
+    if vol < 0:
+        pts = pts[[0, 2, 1, 3]]
+    grads, _ = p1_gradients(pts, CELLS1)
+    v0 = pts[0]
+    for i in range(4):
+        for j in range(4):
+            # λ_i(x) = δ_i0 + ∇λ_i·(x − v0); at vertex v_j it must be δ_ij
+            base = 1.0 if i == 0 else 0.0
+            lam_at_vj = base + grads[0, i] @ (pts[j] - v0)
+            expected = 1.0 if i == j else 0.0
+            assert lam_at_vj == pytest.approx(expected, abs=1e-6)

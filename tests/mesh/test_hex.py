@@ -1,0 +1,60 @@
+"""Periodic hex mesh: stencil correctness and wrap-around."""
+import numpy as np
+import pytest
+
+from repro.mesh import FACES, STENCIL, HexMesh
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return HexMesh(4, 3, 5, 1.0, 1.0, 2.0)
+
+
+def test_counts_and_spacing(mesh):
+    assert mesh.n_cells == 60
+    assert mesh.dx == pytest.approx(0.25)
+    assert mesh.dz == pytest.approx(0.4)
+    assert mesh.cell_volume == pytest.approx(0.25 * (1 / 3) * 0.4)
+
+
+def test_cell_id_roundtrip(mesh):
+    c = np.arange(mesh.n_cells)
+    i, j, k = mesh.cell_ijk(c)
+    np.testing.assert_array_equal(mesh.cell_id(i, j, k), c)
+
+
+def test_periodic_wrap(mesh):
+    # cell (0,0,0): XM neighbour is (nx-1,0,0)
+    assert mesh.stencil_c2c[0, STENCIL["XM"]] == 3
+    assert mesh.face_c2c[0, FACES["XM"]] == 3
+    # cell (nx-1,...) XP wraps to 0
+    assert mesh.stencil_c2c[3, STENCIL["XP"]] == 0
+
+
+def test_stencil_consistency(mesh):
+    c = np.arange(mesh.n_cells)
+    i, j, k = mesh.cell_ijk(c)
+    np.testing.assert_array_equal(
+        mesh.stencil_c2c[:, STENCIL["XPYPZP"]],
+        mesh.cell_id(i + 1, j + 1, k + 1))
+    np.testing.assert_array_equal(
+        mesh.stencil_c2c[:, STENCIL["ZM"]], mesh.cell_id(i, j, k - 1))
+
+
+def test_faces_are_mutual(mesh):
+    xm = mesh.face_c2c[:, FACES["XM"]]
+    xp = mesh.face_c2c[:, FACES["XP"]]
+    c = np.arange(mesh.n_cells)
+    np.testing.assert_array_equal(mesh.face_c2c[xm, FACES["XP"]], c)
+    np.testing.assert_array_equal(mesh.face_c2c[xp, FACES["XM"]], c)
+
+
+def test_centroids_inside_box(mesh):
+    c = mesh.centroids
+    assert (c > 0).all()
+    assert (c[:, 0] < 1.0).all() and (c[:, 2] < 2.0).all()
+
+
+def test_invalid_dims():
+    with pytest.raises(ValueError):
+        HexMesh(0, 1, 1)

@@ -1,0 +1,76 @@
+"""Mesh file round trips (.dat ASCII and .npz binary)."""
+import numpy as np
+import pytest
+
+from repro.mesh import duct_mesh
+from repro.mesh.io import (load_mesh, read_mesh_dat, save_mesh,
+                           write_mesh_dat)
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return duct_mesh(2, 3, 4, 1.0, 1.5, 2.0)
+
+
+def _assert_same(a, b):
+    np.testing.assert_array_equal(a.cell2node, b.cell2node)
+    np.testing.assert_allclose(a.points, b.points, rtol=0, atol=0)
+    np.testing.assert_array_equal(a.c2c, b.c2c)          # re-derived
+    np.testing.assert_allclose(a.volumes, b.volumes)
+    assert set(a.tags) == set(b.tags)
+    for name in a.tags:
+        if name == "extent":
+            assert tuple(a.tags[name]) == tuple(b.tags[name])
+        else:
+            np.testing.assert_array_equal(a.tags[name], b.tags[name])
+
+
+@pytest.mark.parametrize("suffix", [".dat", ".npz"])
+def test_roundtrip(mesh, tmp_path, suffix):
+    path = tmp_path / f"duct{suffix}"
+    save_mesh(mesh, path)
+    _assert_same(mesh, load_mesh(path))
+
+
+def test_dat_is_bit_exact(mesh, tmp_path):
+    """%.17g round-trips float64 exactly."""
+    path = write_mesh_dat(mesh, tmp_path / "m.dat")
+    again = read_mesh_dat(path)
+    assert (again.points == mesh.points).all()
+
+
+def test_dat_rejects_garbage(tmp_path):
+    bad = tmp_path / "bad.dat"
+    bad.write_text("not a mesh\n")
+    with pytest.raises(ValueError):
+        read_mesh_dat(bad)
+
+
+def test_unknown_suffix(mesh, tmp_path):
+    with pytest.raises(ValueError):
+        save_mesh(mesh, tmp_path / "m.vtu")
+    with pytest.raises(ValueError):
+        load_mesh(tmp_path / "m.vtu")
+
+
+@pytest.mark.parametrize("suffix", [".dat", ".npz"])
+def test_simulation_runs_from_saved_mesh(tmp_path, suffix):
+    """The artifact workflow: generate once, reload for every run — a
+    simulation on the loaded mesh must match one on the generated mesh
+    exactly."""
+    from repro.apps.fempic import FemPicConfig, FemPicSimulation
+    from repro.mesh import duct_mesh as gen
+
+    cfg = FemPicConfig.smoke().scaled(n_steps=5, dt=0.2)
+    path = save_mesh(gen(cfg.nx, cfg.ny, cfg.nz, cfg.lx, cfg.ly, cfg.lz),
+                     tmp_path / f"duct{suffix}")
+
+    generated = FemPicSimulation(cfg)
+    generated.run()
+    from_file = FemPicSimulation(cfg.scaled(mesh_file=str(path)))
+    from_file.run()
+    np.testing.assert_allclose(from_file.history["field_energy"],
+                               generated.history["field_energy"],
+                               rtol=1e-12)
+    assert from_file.history["n_particles"] == \
+        generated.history["n_particles"]

@@ -1,0 +1,75 @@
+"""Structured overlay (direct-hop support): construction and lookups."""
+import numpy as np
+import pytest
+
+from repro.mesh import StructuredOverlay, duct_mesh
+from repro.mesh.geometry import barycentric_coords
+
+
+@pytest.fixture(scope="module")
+def world():
+    mesh = duct_mesh(3, 3, 6, 1.0, 1.0, 2.0)
+    return mesh, StructuredOverlay.build(mesh, 8)
+
+
+def test_cell_map_complete(world):
+    mesh, ov = world
+    assert ov.cell_map.shape == (8 * 8 * 8,)
+    assert (ov.cell_map >= 0).all()
+    assert (ov.cell_map < mesh.n_cells).all()
+
+
+def test_lookup_lands_near_target(world):
+    """The DH guess plus a short walk must find the true cell quickly —
+    the guess must be within a few hops."""
+    mesh, ov = world
+    rng = np.random.default_rng(5)
+    pts = rng.uniform([0, 0, 0], [1, 1, 2], size=(200, 3))
+    truth = mesh.locate(pts)
+    guess = ov.lookup_cell(pts)
+    resumed = mesh.locate(pts, guesses=guess)
+    np.testing.assert_array_equal(resumed, truth)
+    # guesses should be geometrically close: centroid distance bounded by
+    # a couple of bin diagonals
+    d = np.linalg.norm(mesh.centroids[guess] - pts, axis=1)
+    assert d.max() < 3.0 * np.linalg.norm(ov.spacing)
+
+
+def test_bin_of_clips_outside_points(world):
+    _, ov = world
+    b = ov.bin_of(np.array([[99.0, 99.0, 99.0], [-99.0, 0.0, 0.0]]))
+    assert (b >= 0).all() and (b < ov.cell_map.size).all()
+
+
+def test_rank_map_lookup(world):
+    mesh, ov = world
+    owner = (np.arange(mesh.n_cells) % 4).astype(np.int64)
+    ov2 = ov.with_rank_map(owner)
+    pts = mesh.centroids[:20]
+    ranks = ov2.lookup_rank(pts)
+    assert (ranks == owner[ov2.lookup_cell(pts)]).all()
+
+
+def test_rank_lookup_without_map_raises(world):
+    _, ov = world
+    with pytest.raises(ValueError):
+        ov.lookup_rank(np.zeros((1, 3)))
+
+
+def test_memory_accounting(world):
+    mesh, ov = world
+    assert ov.nbytes == ov.cell_map.nbytes
+    ov2 = ov.with_rank_map(np.zeros(mesh.n_cells, dtype=np.int64))
+    assert ov2.nbytes == 2 * ov.cell_map.nbytes
+
+
+def test_invalid_dims():
+    with pytest.raises(ValueError):
+        StructuredOverlay([0, 0, 0], [1, 1, 1], [0, 1, 1],
+                          np.zeros(0, dtype=np.int64))
+
+
+def test_cell_map_shape_checked():
+    with pytest.raises(ValueError):
+        StructuredOverlay([0, 0, 0], [1, 1, 1], [2, 2, 2],
+                          np.zeros(7, dtype=np.int64))

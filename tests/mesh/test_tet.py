@@ -1,0 +1,83 @@
+"""Duct mesh generator: counts, consistency, tags, point location."""
+import numpy as np
+import pytest
+
+from repro.mesh import duct_mesh
+from repro.mesh.geometry import barycentric_coords
+from repro.mesh.unstructured import boundary_faces
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return duct_mesh(3, 3, 6, 1.0, 1.0, 2.0)
+
+
+def test_counts(mesh):
+    assert mesh.n_cells == 6 * 3 * 3 * 6
+    assert mesh.n_nodes == 4 * 4 * 7
+
+
+def test_volumes_positive_and_sum(mesh):
+    assert (mesh.volumes > 0).all()
+    assert mesh.volumes.sum() == pytest.approx(2.0)
+
+
+def test_c2c_symmetry(mesh):
+    for c in range(mesh.n_cells):
+        for i in range(4):
+            n = mesh.c2c[c, i]
+            if n >= 0:
+                assert c in mesh.c2c[n]
+
+
+def test_every_interior_face_shared(mesh):
+    bf = boundary_faces(mesh.cell2node, mesh.c2c)
+    n_faces_total = 4 * mesh.n_cells
+    n_boundary = bf.shape[0]
+    assert (n_faces_total - n_boundary) % 2 == 0
+
+
+def test_inlet_faces_at_z0(mesh):
+    faces = mesh.tags["inlet_faces"]
+    assert faces.shape[0] == 2 * 3 * 3   # 2 boundary triangles per box face
+    z = mesh.points[faces[:, 2:], 2]
+    assert np.allclose(z, 0.0)
+
+
+def test_node_tags_partition_boundary(mesh):
+    inlet = set(mesh.tags["inlet_nodes"].tolist())
+    wall = set(mesh.tags["wall_nodes"].tolist())
+    outlet = set(mesh.tags["outlet_nodes"].tolist())
+    assert not (inlet & wall)
+    assert not (inlet & outlet)
+    assert not (wall & outlet)
+
+
+def test_locate_random_points(mesh, rng):
+    pts = rng.uniform([0, 0, 0], [1, 1, 2], size=(300, 3))
+    cells = mesh.locate(pts)
+    assert (cells >= 0).all()
+    lam = barycentric_coords(mesh.xforms[cells], pts)
+    assert (lam >= -1e-9).all()
+
+
+def test_locate_outside_returns_minus_one(mesh):
+    out = mesh.locate(np.array([[5.0, 5.0, 5.0]]))
+    assert out[0] == -1
+
+
+def test_locate_honours_guesses(mesh, rng):
+    pts = rng.uniform([0, 0, 0], [1, 1, 2], size=(50, 3))
+    base = mesh.locate(pts)
+    guessed = mesh.locate(pts, guesses=np.full(50, mesh.n_cells - 1))
+    np.testing.assert_array_equal(base, guessed)
+
+
+def test_degenerate_rejected():
+    with pytest.raises(ValueError):
+        duct_mesh(0, 1, 1)
+
+
+def test_small_duct_has_no_interior():
+    m = duct_mesh(1, 1, 1)
+    assert m.n_cells == 6

@@ -1,0 +1,73 @@
+"""2-D triangular mesh substrate."""
+import numpy as np
+import pytest
+
+from repro.mesh.tri import (TriMesh, square_tri_mesh, tri_areas,
+                            tri_p1_gradients)
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return square_tri_mesh(6, 4, 2.0, 1.0)
+
+
+def test_counts_and_area(mesh):
+    assert mesh.n_cells == 2 * 6 * 4
+    assert mesh.n_nodes == 7 * 5
+    assert mesh.areas.sum() == pytest.approx(2.0)
+    assert (mesh.areas > 0).all()
+
+
+def test_c2c_symmetric_opposite_vertex(mesh):
+    for c in range(mesh.n_cells):
+        for i in range(3):
+            n = mesh.c2c[c, i]
+            if n >= 0:
+                assert c in mesh.c2c[n]
+                # the shared edge excludes vertex i
+                shared = set(mesh.cell2node[c]) & set(mesh.cell2node[n])
+                assert len(shared) == 2
+                assert mesh.cell2node[c, i] not in shared
+
+
+def test_boundary_edges_count(mesh):
+    # boundary edges = perimeter squares' hypotenuse-free edges: 2*(nx+ny)
+    n_wall_edges = int((mesh.c2c == -1).sum())
+    assert n_wall_edges == 2 * (6 + 4)
+
+
+def test_barycentric_identities(mesh, rng):
+    pts = rng.uniform([0, 0], [2.0, 1.0], size=(100, 2))
+    cells = mesh.locate(pts)
+    assert (cells >= 0).all()
+    lam = mesh.barycentric(cells, pts)
+    np.testing.assert_allclose(lam.sum(axis=1), 1.0, atol=1e-12)
+    assert (lam >= -1e-9).all()
+    # reconstruct the point from its weights
+    verts = mesh.points[mesh.cell2node[cells]]
+    back = np.einsum("ni,nid->nd", lam, verts)
+    np.testing.assert_allclose(back, pts, atol=1e-12)
+
+
+def test_locate_outside(mesh):
+    assert mesh.locate(np.array([[5.0, 5.0]]))[0] == -1
+
+
+def test_gradients_partition_of_unity(mesh):
+    np.testing.assert_allclose(mesh.grads.sum(axis=1), 0.0, atol=1e-13)
+
+
+def test_gradient_reproduces_linear_field(mesh):
+    coeffs = np.array([2.0, -3.0])
+    phi = mesh.points @ coeffs
+    g = np.einsum("ci,cid->cd", phi[mesh.cell2node], mesh.grads)
+    np.testing.assert_allclose(g, np.broadcast_to(coeffs, g.shape),
+                               atol=1e-11)
+
+
+def test_degenerate_rejected():
+    with pytest.raises(ValueError):
+        square_tri_mesh(0, 2)
+    with pytest.raises(ValueError):
+        TriMesh(points=np.array([[0, 0], [1, 0], [2, 0]]),
+                cell2node=np.array([[0, 1, 2]]))   # collinear

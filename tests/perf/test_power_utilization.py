@@ -1,0 +1,59 @@
+"""Power-equivalent sizing (Table 2 → 18/8/5 split) and the utilization
+model (Table 1 shape)."""
+import pytest
+
+from repro.perf import CLUSTERS, PAPER_BUDGET, PowerBudget, \
+    power_equivalent_nodes, utilization
+
+
+def test_paper_power_split():
+    """12 kW: 18 ARCHER2 nodes vs 8 Bede nodes vs 5 LUMI-G nodes."""
+    nodes = power_equivalent_nodes(PAPER_BUDGET)
+    assert nodes["archer2"] == 18
+    assert nodes["bede"] == 8
+    assert nodes["lumi-g"] == 5
+
+
+def test_device_counts():
+    assert PAPER_BUDGET.devices_for(CLUSTERS["bede"]) == 32      # V100s
+    assert PAPER_BUDGET.devices_for(CLUSTERS["lumi-g"]) == 40    # GCDs
+
+
+def test_budget_floor_is_one_node():
+    tiny = PowerBudget(watts=10.0)
+    assert tiny.nodes_for(CLUSTERS["archer2"]) == 1
+
+
+def test_single_device_full_utilization():
+    u = utilization([1.0], [0], [0.0], CLUSTERS["bede"])
+    assert u == pytest.approx(1.0)
+
+
+def test_comm_reduces_utilization():
+    c = CLUSTERS["bede"]
+    u1 = utilization([1.0, 1.0], [0, 0], [0.0, 0.0], c)
+    u2 = utilization([1.0, 1.0], [1000, 1000], [10e9, 10e9], c)
+    assert u2 < u1 == pytest.approx(1.0)
+
+
+def test_imbalance_reduces_utilization():
+    c = CLUSTERS["lumi-g"]
+    balanced = utilization([1.0, 1.0], [0, 0], [0.0, 0.0], c)
+    skewed = utilization([1.0, 0.5], [0, 0], [0.0, 0.0], c)
+    assert skewed < balanced
+
+
+def test_more_work_per_byte_raises_utilization():
+    """Table 1: CabanaPIC 144M particles utilizes better than 72M on the
+    same device count (more compute per halo byte)."""
+    c = CLUSTERS["lumi-g"]
+    small = utilization([0.5] * 8, [100] * 8, [1e8] * 8, c)
+    big = utilization([1.0] * 8, [100] * 8, [1e8] * 8, c)
+    assert big > small
+
+
+def test_utilization_input_validation():
+    with pytest.raises(ValueError):
+        utilization([], [], [], CLUSTERS["bede"])
+    with pytest.raises(ValueError):
+        utilization([1.0], [1, 2], [0.0, 1.0], CLUSTERS["bede"])

@@ -1,0 +1,64 @@
+"""Roofline analysis: classification of the paper's kernel archetypes."""
+import pytest
+
+from repro.perf import MACHINES, analyze, format_table, roofline_ceiling
+from repro.perf.timers import LoopStats
+
+
+def make(name, ai, nbytes=1e9, **kw):
+    return LoopStats(name, calls=1, n_total=10**6, flops=ai * nbytes,
+                     nbytes=nbytes, **kw)
+
+
+def test_ceiling_shapes():
+    m = MACHINES["v100"]
+    low = roofline_ceiling(0.1, m)
+    assert low == pytest.approx(0.1 * m.dram_gbs)
+    high = roofline_ceiling(1000.0, m)
+    assert high == m.peak_gflops
+
+
+def test_bandwidth_bound_classification():
+    """Paper §4.1.2: almost all PIC kernels are bandwidth bound."""
+    m = MACHINES["v100"]
+    pts = analyze([make("Move", 0.3)], m)
+    assert pts[0].bound == "DRAM"
+    assert pts[0].gflops <= pts[0].ceiling_gflops * 1.01
+
+
+def test_compute_bound_classification():
+    m = MACHINES["v100"]
+    pts = analyze([make("dense", 100.0)], m)
+    assert pts[0].bound == "compute"
+
+
+def test_latency_bound_deposit_on_gpu():
+    """Paper: DepositCharge does not appear on the GPU roofline — it is
+    latency bound from atomic serialization."""
+    m = MACHINES["mi250x_gcd"]
+    st = make("DepositCharge", 0.3, indirect_inc=True)
+    st.max_collisions = 1500
+    pts = analyze([st], m, strategy="atomics")
+    assert pts[0].bound == "latency"
+
+
+def test_l3_bound_on_cpu():
+    """Paper: several CPU kernels sit against the L3 roof."""
+    m = MACHINES["xeon_8268"]
+    st = LoopStats("Move", calls=100, n_total=10**5,
+                   flops=100 * 10**6 * 0.5, nbytes=100 * 10**6)  # 1MB/call
+    pts = analyze([st], m)
+    assert pts[0].bound == "L3"
+    assert pts[0].ceiling_gflops == pytest.approx(
+        min(m.peak_gflops, pts[0].ai * m.l3_gbs))
+
+
+def test_zero_byte_kernels_skipped():
+    m = MACHINES["v100"]
+    assert analyze([LoopStats("empty")], m) == []
+
+
+def test_format_table_mentions_kernels():
+    m = MACHINES["xeon_8268"]
+    text = format_table(analyze([make("Move", 0.3)], m), m)
+    assert "Move" in text and "DRAM" in text

@@ -1,0 +1,54 @@
+"""Perf recorder accumulation and reporting."""
+from repro.perf import PerfRecorder
+
+
+def test_accumulates_across_calls():
+    rec = PerfRecorder()
+    rec.record_loop("Move", n=100, seconds=0.5, flops=10.0, nbytes=100.0,
+                    hops=150, is_move=True)
+    rec.record_loop("Move", n=100, seconds=0.25, flops=10.0, nbytes=100.0,
+                    hops=120, is_move=True, collisions=5)
+    st = rec.get("Move")
+    assert st.calls == 2
+    assert st.seconds == 0.75
+    assert st.hops == 270
+    assert st.max_collisions == 5
+    assert st.is_move
+    assert st.mean_seconds == 0.375
+
+
+def test_arithmetic_intensity():
+    rec = PerfRecorder()
+    rec.record_loop("k", n=1, seconds=1.0, flops=300.0, nbytes=100.0)
+    assert rec.get("k").arithmetic_intensity == 3.0
+    rec.record_loop("z", n=1, seconds=1.0, flops=10.0, nbytes=0.0)
+    assert rec.get("z").arithmetic_intensity == 0.0
+
+
+def test_breakdown_sorted_by_time():
+    rec = PerfRecorder()
+    rec.record_loop("fast", n=1, seconds=0.1)
+    rec.record_loop("slow", n=1, seconds=0.9)
+    assert [s.name for s in rec.breakdown()] == ["slow", "fast"]
+    assert rec.total_seconds == 1.0
+
+
+def test_disable_and_reset():
+    rec = PerfRecorder()
+    rec.enabled = False
+    rec.record_loop("k", n=1, seconds=1.0)
+    assert rec.get("k") is None
+    rec.enabled = True
+    rec.record_loop("k", n=1, seconds=1.0)
+    rec.reset()
+    assert rec.loops == {}
+
+
+def test_report_formats():
+    rec = PerfRecorder()
+    rec.record_loop("DepositCharge", n=10, seconds=0.2, flops=1e9,
+                    nbytes=2e9)
+    text = rec.report("Title")
+    assert "Title" in text
+    assert "DepositCharge" in text
+    assert "0.2" in text

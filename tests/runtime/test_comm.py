@@ -1,0 +1,84 @@
+"""Simulated MPI communicator: messaging, collectives, accounting."""
+import numpy as np
+import pytest
+
+from repro.runtime import SimComm
+
+
+def test_send_recv_roundtrip():
+    comm = SimComm(3)
+    payload = np.arange(10.0)
+    comm.send(0, 2, payload, tag=7)
+    out = comm.recv(2, 0, tag=7)
+    np.testing.assert_array_equal(out, payload)
+
+
+def test_message_accounting():
+    comm = SimComm(2)
+    comm.send(0, 1, np.zeros(4))        # 32 bytes
+    comm.send(1, 0, np.zeros(2))        # 16 bytes
+    assert comm.stats.total_messages == 2
+    assert comm.stats.msg_bytes[0, 1] == 32
+    assert comm.stats.bytes_sent_by(1) == 16
+    comm.stats.reset()
+    assert comm.stats.total_bytes == 0
+
+
+def test_missing_message_raises():
+    comm = SimComm(2)
+    with pytest.raises(RuntimeError):
+        comm.recv(1, 0)
+
+
+def test_duplicate_unreceived_message_raises():
+    comm = SimComm(2)
+    comm.send(0, 1, np.zeros(1), tag=3)
+    with pytest.raises(RuntimeError):
+        comm.send(0, 1, np.zeros(1), tag=3)
+
+
+def test_tags_separate_messages():
+    comm = SimComm(2)
+    comm.send(0, 1, np.array([1.0]), tag=1)
+    comm.send(0, 1, np.array([2.0]), tag=2)
+    assert comm.recv(1, 0, tag=2)[0] == 2.0
+    assert comm.recv(1, 0, tag=1)[0] == 1.0
+
+
+def test_rank_bounds_checked():
+    comm = SimComm(2)
+    with pytest.raises(IndexError):
+        comm.send(0, 5, np.zeros(1))
+    with pytest.raises(ValueError):
+        SimComm(0)
+
+
+def test_allreduce_ops():
+    comm = SimComm(3)
+    assert comm.allreduce([1.0, 2.0, 3.0], "sum") == 6.0
+    assert comm.allreduce([1.0, 5.0, 3.0], "max") == 5.0
+    assert comm.allreduce([1.0, 5.0, 3.0], "min") == 1.0
+    assert comm.stats.collectives == 3
+    with pytest.raises(ValueError):
+        comm.allreduce([1.0, 2.0], "sum")
+    with pytest.raises(ValueError):
+        comm.allreduce([1.0, 2.0, 3.0], "prod")
+
+
+def test_allreduce_arrays():
+    comm = SimComm(2)
+    out = comm.allreduce([np.array([1.0, 2.0]), np.array([3.0, 4.0])])
+    np.testing.assert_array_equal(out, [4.0, 6.0])
+
+
+def test_alltoall_counts_transposes():
+    comm = SimComm(2)
+    counts = np.array([[0, 3], [5, 0]])
+    recv = comm.alltoall_counts(counts)
+    np.testing.assert_array_equal(recv, [[0, 5], [3, 0]])
+
+
+def test_pending_listing():
+    comm = SimComm(2)
+    comm.send(0, 1, np.zeros(1), tag=9)
+    assert comm.pending(1) == [(0, 9)]

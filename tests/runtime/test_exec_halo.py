@@ -1,0 +1,135 @@
+"""OP2-style redundant computation over MPI halos (paper §3.2.1: "data
+races when parallelizing iterations that increment data held on a set,
+modified indirectly via a mapping, are handled with redundant
+computations over MPI halos").
+
+A mesh loop over owned + exec-halo cells completes every owned node's
+contributions *locally* — no ghost reduction needed — provided the halo
+is vertex-deep.
+"""
+import numpy as np
+import pytest
+
+from repro.core.api import (OPP_INC, OPP_ITERATE_ALL, OPP_READ,
+                            OPP_WRITE, Context, arg_dat, decl_dat,
+                            decl_map, decl_set, push_context)
+from repro.core.loops import par_loop
+from repro.mesh import duct_mesh
+from repro.runtime import build_rank_meshes, partition
+
+
+def deposit_cell_to_nodes(cv, n0, n1, n2, n3):
+    n0[0] += 0.25 * cv[0]
+    n1[0] += 0.25 * cv[0]
+    n2[0] += 0.25 * cv[0]
+    n3[0] += 0.25 * cv[0]
+
+
+@pytest.fixture(scope="module")
+def world():
+    mesh = duct_mesh(2, 2, 6, 1.0, 1.0, 2.0)
+    owner = partition("principal_direction", 3,
+                      centroids=mesh.centroids)
+    # global truth
+    truth = np.zeros(mesh.n_nodes)
+    np.add.at(truth, mesh.cell2node.ravel(),
+              np.repeat(0.25 * (np.arange(mesh.n_cells) + 1.0), 4))
+    return mesh, owner, truth
+
+
+def test_vertex_halo_is_superset_of_face_halo(world):
+    mesh, owner, _ = world
+    face, _ = build_rank_meshes(mesh.c2c, owner, 3, c2n=mesh.cell2node)
+    vert, _ = build_rank_meshes(mesh.c2c, owner, 3, c2n=mesh.cell2node,
+                                halo_mode="vertex")
+    for fm, vm in zip(face, vert):
+        assert set(fm.cells_global.tolist()) <= \
+            set(vm.cells_global.tolist())
+        assert fm.n_owned_cells == vm.n_owned_cells
+
+
+def test_redundant_execution_completes_owned_nodes(world):
+    """Exec-halo mode: per-rank loops over owned + vertex halo yield the
+    exact global node sums on every owned node — no reduction step."""
+    mesh, owner, truth = world
+    meshes, plan = build_rank_meshes(mesh.c2c, owner, 3,
+                                     c2n=mesh.cell2node,
+                                     halo_mode="vertex")
+    for rm in meshes:
+        ctx = Context("vec")
+        with push_context(ctx):
+            cells = decl_set(rm.n_local_cells)
+            cells.owned_size = rm.n_owned_cells
+            cells.exec_halo_size = rm.n_halo_cells   # redundant window
+            nodes = decl_set(rm.n_local_nodes)
+            nodes.owned_size = rm.n_owned_nodes
+            c2n = decl_map(cells, nodes, 4, rm.local_c2n)
+            cv = decl_dat(cells, 1, np.float64,
+                          rm.cells_global + 1.0)     # halo data present
+            nd = decl_dat(nodes, 1, np.float64)
+            par_loop(deposit_cell_to_nodes, "deposit", cells,
+                     OPP_ITERATE_ALL,
+                     arg_dat(cv, OPP_READ),
+                     arg_dat(nd, 0, c2n, OPP_INC),
+                     arg_dat(nd, 1, c2n, OPP_INC),
+                     arg_dat(nd, 2, c2n, OPP_INC),
+                     arg_dat(nd, 3, c2n, OPP_INC))
+        owned_nodes = rm.nodes_global[: rm.n_owned_nodes]
+        np.testing.assert_allclose(nd.data[: rm.n_owned_nodes, 0],
+                                   truth[owned_nodes], rtol=1e-12)
+
+
+def test_face_halo_alone_is_insufficient(world):
+    """With only the face halo, at least one rank misses contributions to
+    some owned node — the reason the exec halo must be vertex-deep."""
+    mesh, owner, truth = world
+    meshes, _ = build_rank_meshes(mesh.c2c, owner, 3,
+                                  c2n=mesh.cell2node)
+    incomplete = False
+    for rm in meshes:
+        ctx = Context("vec")
+        with push_context(ctx):
+            cells = decl_set(rm.n_local_cells)
+            cells.owned_size = rm.n_owned_cells
+            cells.exec_halo_size = rm.n_halo_cells
+            nodes = decl_set(rm.n_local_nodes)
+            c2n = decl_map(cells, nodes, 4, rm.local_c2n)
+            cv = decl_dat(cells, 1, np.float64, rm.cells_global + 1.0)
+            nd = decl_dat(nodes, 1, np.float64)
+            par_loop(deposit_cell_to_nodes, "deposit", cells,
+                     OPP_ITERATE_ALL,
+                     arg_dat(cv, OPP_READ),
+                     arg_dat(nd, 0, c2n, OPP_INC),
+                     arg_dat(nd, 1, c2n, OPP_INC),
+                     arg_dat(nd, 2, c2n, OPP_INC),
+                     arg_dat(nd, 3, c2n, OPP_INC))
+        owned_nodes = rm.nodes_global[: rm.n_owned_nodes]
+        if not np.allclose(nd.data[: rm.n_owned_nodes, 0],
+                           truth[owned_nodes]):
+            incomplete = True
+    assert incomplete
+
+
+def test_exec_window_only_extends_indirect_inc_loops():
+    """Loops without indirect increments must not run over the halo."""
+    ctx = Context("vec")
+    with push_context(ctx):
+        s = decl_set(6)
+        s.owned_size = 4
+        s.exec_halo_size = 2
+        x = decl_dat(s, 1, np.float64)
+
+        def mark(xv):
+            xv[0] = 1.0
+
+        par_loop(mark, "mark", s, OPP_ITERATE_ALL,
+                 arg_dat(x, OPP_WRITE))
+        assert x.data[:, 0].tolist() == [1, 1, 1, 1, 0, 0]
+
+
+def test_invalid_halo_mode(world):
+    mesh, owner, _ = world
+    with pytest.raises(ValueError):
+        build_rank_meshes(mesh.c2c, owner, 2, halo_mode="edge")
+    with pytest.raises(ValueError):
+        build_rank_meshes(mesh.c2c, owner, 2, halo_mode="vertex")

@@ -1,0 +1,161 @@
+"""Halo construction and exchange: local numbering invariants, push and
+reduce round trips."""
+import numpy as np
+import pytest
+
+from repro.core.api import decl_dat, decl_set
+from repro.mesh import duct_mesh
+from repro.runtime import (SimComm, build_rank_meshes, partition,
+                           push_cell_halos, push_node_halos,
+                           reduce_cell_halos, reduce_node_halos)
+
+
+@pytest.fixture(scope="module")
+def world():
+    mesh = duct_mesh(2, 2, 6, 1.0, 1.0, 2.0)
+    owner = partition("principal_direction", 3, centroids=mesh.centroids)
+    meshes, plan = build_rank_meshes(mesh.c2c, owner, 3,
+                                     c2n=mesh.cell2node)
+    return mesh, owner, meshes, plan
+
+
+def test_owned_cells_partition_the_mesh(world):
+    mesh, owner, meshes, _ = world
+    owned = np.concatenate([rm.cells_global[: rm.n_owned_cells]
+                            for rm in meshes])
+    assert sorted(owned.tolist()) == list(range(mesh.n_cells))
+
+
+def test_halo_cells_are_neighbours_of_owned(world):
+    mesh, owner, meshes, _ = world
+    for rm in meshes:
+        owned = set(rm.cells_global[: rm.n_owned_cells].tolist())
+        for g in rm.cells_global[rm.n_owned_cells:]:
+            neighbours = set(mesh.c2c[g].tolist())
+            assert neighbours & owned, "halo cell not adjacent to owned"
+
+
+def test_local_c2c_consistent(world):
+    mesh, owner, meshes, _ = world
+    for rm in meshes:
+        for loc in range(rm.n_owned_cells):
+            g = rm.cells_global[loc]
+            for a in range(4):
+                gn = mesh.c2c[g, a]
+                ln = rm.local_c2c[loc, a]
+                if gn == -1:
+                    assert ln == -1
+                else:
+                    assert ln >= 0
+                    assert rm.cells_global[ln] == gn
+
+
+def test_foreign_mask_marks_halo_only(world):
+    _, _, meshes, _ = world
+    for rm in meshes:
+        assert not rm.foreign_cell_mask[: rm.n_owned_cells].any()
+        assert rm.foreign_cell_mask[rm.n_owned_cells:].all()
+
+
+def test_node_ownership_unique_and_complete(world):
+    mesh, _, meshes, _ = world
+    owned = np.concatenate([rm.nodes_global[: rm.n_owned_nodes]
+                            for rm in meshes])
+    assert sorted(owned.tolist()) == list(range(mesh.n_nodes))
+
+
+def test_local_c2n_covers_all_local_cells(world):
+    mesh, _, meshes, _ = world
+    for rm in meshes:
+        assert (rm.local_c2n >= 0).all()
+        for loc in range(rm.n_local_cells):
+            g = rm.cells_global[loc]
+            np.testing.assert_array_equal(
+                rm.nodes_global[rm.local_c2n[loc]], mesh.cell2node[g])
+
+
+def test_push_cell_halos_refreshes_ghosts(world):
+    mesh, _, meshes, plan = world
+    comm = SimComm(3)
+    dats = []
+    for rm in meshes:
+        s = decl_set(rm.n_local_cells)
+        d = decl_dat(s, 1, np.float64)
+        d.data[: rm.n_owned_cells, 0] = \
+            rm.cells_global[: rm.n_owned_cells].astype(float)
+        dats.append(d)
+    push_cell_halos(dats, plan, comm)
+    for rm, d in zip(meshes, dats):
+        np.testing.assert_allclose(d.data[:, 0],
+                                   rm.cells_global.astype(float))
+
+
+def test_push_node_halos_refreshes_ghosts(world):
+    mesh, _, meshes, plan = world
+    comm = SimComm(3)
+    dats = []
+    for rm in meshes:
+        s = decl_set(rm.n_local_nodes)
+        d = decl_dat(s, 1, np.float64)
+        d.data[: rm.n_owned_nodes, 0] = \
+            rm.nodes_global[: rm.n_owned_nodes].astype(float)
+        dats.append(d)
+    push_node_halos(dats, plan, comm)
+    for rm, d in zip(meshes, dats):
+        np.testing.assert_allclose(d.data[:, 0],
+                                   rm.nodes_global.astype(float))
+
+
+def test_reduce_node_halos_accumulates_to_owner(world):
+    """Every rank deposits 1 per local reference of each node; reduction
+    must equal the global reference counts (node valence)."""
+    mesh, _, meshes, plan = world
+    comm = SimComm(3)
+    dats = []
+    for rm in meshes:
+        s = decl_set(rm.n_local_nodes)
+        d = decl_dat(s, 1, np.float64)
+        # deposit from owned cells only (owner-compute)
+        np.add.at(d.data[:, 0], rm.local_c2n[: rm.n_owned_cells].ravel(),
+                  1.0)
+        dats.append(d)
+    reduce_node_halos(dats, plan, comm)
+    global_counts = np.bincount(mesh.cell2node.ravel(),
+                                minlength=mesh.n_nodes)
+    for rm, d in zip(meshes, dats):
+        own = rm.nodes_global[: rm.n_owned_nodes]
+        np.testing.assert_allclose(d.data[: rm.n_owned_nodes, 0],
+                                   global_counts[own])
+        # ghosts zeroed
+        assert (d.data[rm.n_owned_nodes:, 0] == 0).all()
+
+
+def test_reduce_cell_halos_accumulates_to_owner(world):
+    mesh, owner, meshes, plan = world
+    comm = SimComm(3)
+    dats = []
+    for rm in meshes:
+        s = decl_set(rm.n_local_cells)
+        d = decl_dat(s, 1, np.float64)
+        d.data[:, 0] = 1.0   # one unit everywhere, including ghosts
+        dats.append(d)
+    reduce_cell_halos(dats, plan, comm)
+    # each owned cell gains 1 per rank that ghosts it
+    ghost_count = np.zeros(mesh.n_cells)
+    for rm in meshes:
+        for g in rm.cells_global[rm.n_owned_cells:]:
+            ghost_count[g] += 1
+    for rm, d in zip(meshes, dats):
+        own = rm.cells_global[: rm.n_owned_cells]
+        np.testing.assert_allclose(d.data[: rm.n_owned_cells, 0],
+                                   1.0 + ghost_count[own])
+
+
+def test_invalid_owner_vector(world):
+    mesh, _, _, _ = world
+    with pytest.raises(ValueError):
+        build_rank_meshes(mesh.c2c, np.zeros(3, dtype=int), 2)
+    bad = np.zeros(mesh.n_cells, dtype=int)
+    bad[0] = 7
+    with pytest.raises(ValueError):
+        build_rank_meshes(mesh.c2c, bad, 2)

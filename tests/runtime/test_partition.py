@@ -1,0 +1,81 @@
+"""Partitioners: balance, coverage, quality ordering."""
+import numpy as np
+import pytest
+
+from repro.mesh import duct_mesh
+from repro.runtime import edge_cut, partition
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return duct_mesh(3, 3, 8, 1.0, 1.0, 3.0)
+
+
+ALL = ["block", "principal_direction", "rcb", "graph", "spectral"]
+
+
+@pytest.mark.parametrize("method", ALL)
+@pytest.mark.parametrize("nranks", [1, 2, 3, 5])
+def test_every_cell_assigned_and_balanced(mesh, method, nranks):
+    owner = partition(method, nranks, centroids=mesh.centroids,
+                      c2c=mesh.c2c, n_cells=mesh.n_cells)
+    assert owner.shape == (mesh.n_cells,)
+    counts = np.bincount(owner, minlength=nranks)
+    assert counts.sum() == mesh.n_cells
+    assert (counts > 0).all()
+    # balance within 2x of ideal (graph bisection for odd counts is loose)
+    assert counts.max() <= 2.0 * mesh.n_cells / nranks
+
+
+def test_principal_direction_is_slabs(mesh):
+    owner = partition("principal_direction", 4, centroids=mesh.centroids)
+    z = mesh.centroids[:, 2]
+    # cells of rank 0 are all below cells of rank 3
+    assert z[owner == 0].max() <= z[owner == 3].min() + 1e-12
+
+
+def test_principal_direction_beats_block_on_cut(mesh):
+    pd = partition("principal_direction", 4, centroids=mesh.centroids)
+    blk = partition("block", 4, n_cells=mesh.n_cells)
+    assert edge_cut(mesh.c2c, pd) <= edge_cut(mesh.c2c, blk)
+
+
+def test_graph_partition_cut_reasonable(mesh):
+    g = partition("graph", 2, c2c=mesh.c2c)
+    pd = partition("principal_direction", 2, centroids=mesh.centroids)
+    # KL bisection should be within a small factor of the slab cut
+    assert edge_cut(mesh.c2c, g) <= 3 * edge_cut(mesh.c2c, pd)
+
+
+def test_rcb_splits_longest_axis(mesh):
+    owner = partition("rcb", 2, centroids=mesh.centroids)
+    z = mesh.centroids[:, 2]
+    assert z[owner == 0].mean() < z[owner == 1].mean()
+
+
+def test_spectral_finds_slab_cut(mesh):
+    """On a duct, the optimal bisection is a cross-sectional slab; the
+    Fiedler vector must find it (cut equal to the slab partitioners')."""
+    from repro.runtime import edge_cut, partition as part
+    sp = part("spectral", 2, c2c=mesh.c2c)
+    pd = part("principal_direction", 2, centroids=mesh.centroids)
+    assert edge_cut(mesh.c2c, sp) <= edge_cut(mesh.c2c, pd)
+
+
+def test_single_rank_trivial(mesh):
+    owner = partition("rcb", 1, centroids=mesh.centroids)
+    assert (owner == 0).all()
+
+
+def test_unknown_method():
+    with pytest.raises(ValueError):
+        partition("metis5", 2, n_cells=10)
+
+
+def test_missing_inputs_raise():
+    with pytest.raises(ValueError):
+        partition("rcb", 2)
+    with pytest.raises(ValueError):
+        partition("graph", 2)
+    with pytest.raises(ValueError):
+        partition("rcb", 0, centroids=np.zeros((3, 3)))

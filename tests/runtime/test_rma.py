@@ -1,0 +1,52 @@
+"""Simulated MPI-RMA windows."""
+import numpy as np
+import pytest
+
+from repro.runtime import RMAWindow, SimComm
+
+
+def test_get_counts_traffic():
+    comm = SimComm(4)
+    win = RMAWindow(np.arange(10), comm)
+    out = win.get(2, np.array([1, 3, 5]))
+    np.testing.assert_array_equal(out, [1, 3, 5])
+    assert comm.stats.rma_ops == 1
+    assert comm.stats.rma_bytes == 24
+
+
+def test_one_copy_per_node():
+    comm = SimComm(4)
+    win = RMAWindow(np.arange(8), comm, ranks_per_node=2)
+    assert win.nbytes_total == 2 * 8 * 8   # two node copies of 8 int64
+    assert win.node_of(0) == 0
+    assert win.node_of(3) == 1
+
+
+def test_put_updates_every_copy():
+    comm = SimComm(4)
+    win = RMAWindow(np.zeros(4), comm, ranks_per_node=2)
+    win.put(0, np.array([1]), np.array([9.0]))
+    assert win.get(3, np.array([1]))[0] == 9.0
+
+
+def test_accumulate_sums_duplicates():
+    comm = SimComm(2)
+    win = RMAWindow(np.zeros(3), comm)
+    win.accumulate(0, np.array([1, 1, 2]), np.array([1.0, 2.0, 5.0]))
+    np.testing.assert_array_equal(win.read_full(0), [0.0, 3.0, 5.0])
+
+
+def test_fence_counts_collective():
+    comm = SimComm(2)
+    win = RMAWindow(np.zeros(2), comm)
+    win.fence()
+    win.fence()
+    assert comm.stats.collectives == 2
+
+
+def test_read_full_is_local():
+    comm = SimComm(2)
+    win = RMAWindow(np.arange(5), comm)
+    before = comm.stats.rma_ops
+    win.read_full(1)
+    assert comm.stats.rma_ops == before

@@ -1,0 +1,138 @@
+"""Property-based tests of the distributed substrate: for random chains,
+partitions and particle walks, the structural invariants must hold."""
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.api import (OPP_READ, Context, arg_dat, decl_dat,
+                            decl_map, decl_particle_set, decl_set,
+                            push_context)
+from repro.runtime import (SimComm, build_rank_meshes, mpi_particle_move,
+                           partition)
+
+
+def chain_c2c(n_cells: int) -> np.ndarray:
+    return np.array([[i - 1, i + 1 if i + 1 < n_cells else -1]
+                     for i in range(n_cells)], dtype=np.int64)
+
+
+@settings(max_examples=25, deadline=None)
+@given(n_cells=st.integers(4, 40), nranks=st.integers(1, 5),
+       seed=st.integers(0, 2**16))
+def test_rank_meshes_partition_invariants(n_cells, nranks, seed):
+    """Random contiguous-ish owner maps: owned cells partition the mesh,
+    halos are adjacent foreign cells, local numbering is consistent."""
+    assume(nranks <= n_cells)
+    rng = np.random.default_rng(seed)
+    # random but valid owner assignment covering all ranks
+    cuts = np.sort(rng.choice(np.arange(1, n_cells), size=nranks - 1,
+                              replace=False)) if nranks > 1 else []
+    owner = np.zeros(n_cells, dtype=np.int64)
+    for r, c in enumerate(cuts):
+        owner[c:] = r + 1
+    c2c = chain_c2c(n_cells)
+    meshes, plan = build_rank_meshes(c2c, owner, nranks)
+
+    owned_all = np.concatenate([m.cells_global[: m.n_owned_cells]
+                                for m in meshes])
+    assert sorted(owned_all.tolist()) == list(range(n_cells))
+    for m in meshes:
+        halo = m.cells_global[m.n_owned_cells:]
+        for g in halo:
+            assert owner[g] != m.rank
+            neighbours = set(c2c[g].tolist())
+            owned = set(m.cells_global[: m.n_owned_cells].tolist())
+            assert neighbours & owned
+        # local c2c points back at the right global cells
+        for loc in range(m.n_owned_cells):
+            g = m.cells_global[loc]
+            for a in range(2):
+                ln = m.local_c2c[loc, a]
+                if ln >= 0:
+                    assert m.cells_global[ln] == c2c[g, a]
+    # cell_home inverts the local numbering
+    for m in meshes:
+        for loc in range(m.n_owned_cells):
+            g = m.cells_global[loc]
+            assert plan.cell_home[g, 0] == m.rank
+            assert plan.cell_home[g, 1] == loc
+
+
+def walk_kernel(move, p, lo):
+    """Coordinate-based walk: the cell's low edge comes from a dat (local
+    cell ids differ from global ones across ranks)."""
+    if p[0] < lo[0]:
+        move.move_to(move.c2c[0])
+    elif p[0] >= lo[0] + 1.0:
+        move.move_to(move.c2c[1])
+    else:
+        move.done()
+
+
+@settings(max_examples=15, deadline=None)
+@given(n_cells=st.integers(6, 24), nranks=st.integers(2, 4),
+       n_parts=st.integers(1, 30), seed=st.integers(0, 2**16))
+def test_distributed_walk_matches_oracle(n_cells, nranks, n_parts, seed):
+    """Random walks over a random-slab-partitioned chain: the surviving
+    (position → cell) assignment must equal the single-rank truth, for
+    any rank count and any particle placement."""
+    rng = np.random.default_rng(seed)
+    positions = rng.uniform(-1.0, n_cells + 1.0, size=n_parts)
+    start_cells = rng.integers(0, n_cells, size=n_parts)
+    truth_cells = np.floor(positions).astype(np.int64)
+    survivors = sorted(
+        positions[(truth_cells >= 0) & (truth_cells < n_cells)].tolist())
+
+    c2c = chain_c2c(n_cells)
+    centroids = np.stack([np.zeros(n_cells), np.zeros(n_cells),
+                          np.arange(n_cells) + 0.5], axis=1)
+    owner = partition("principal_direction", nranks, centroids=centroids)
+    meshes, plan = build_rank_meshes(c2c, owner, nranks)
+    comm = SimComm(nranks)
+    ctxs = [Context("vec") for _ in range(nranks)]
+
+    psets, p2cs, poss, los = [], [], [], []
+    for r in range(nranks):
+        g2l = np.full(n_cells, -1, dtype=np.int64)
+        g2l[meshes[r].cells_global] = np.arange(
+            meshes[r].cells_global.size)
+        mine = np.flatnonzero(owner[start_cells] == r)
+        cells = decl_set(meshes[r].n_local_cells)
+        cells.owned_size = meshes[r].n_owned_cells
+        parts = decl_particle_set(cells, mine.size)
+        p2c = decl_map(parts, cells, 1,
+                       g2l[start_cells[mine]].reshape(-1, 1)
+                       if mine.size else None)
+        pos = decl_dat(parts, 1, np.float64, positions[mine])
+        # geometry travels as a cell dat: the global low edge of each
+        # local cell (local ids are rank-specific)
+        lo = decl_dat(cells, 1, np.float64,
+                      meshes[r].cells_global.astype(np.float64))
+        psets.append(parts)
+        p2cs.append(p2c)
+        poss.append(pos)
+        los.append(lo)
+
+    local_maps = [decl_map(p.cells_set, p.cells_set, 2,
+                           meshes[r].local_c2c)
+                  for r, p in enumerate(psets)]
+    mpi_particle_move(comm, plan, meshes, ctxs, walk_kernel, "walk",
+                      psets, local_maps, p2cs,
+                      [[arg_dat(poss[r], OPP_READ),
+                        arg_dat(los[r], p2cs[r], OPP_READ)]
+                       for r in range(nranks)],
+                      [[poss[r]] for r in range(nranks)])
+
+    got = []
+    for r in range(nranks):
+        n = psets[r].size
+        local = p2cs[r].p2c[:n]
+        assert (local >= 0).all()
+        assert (local < meshes[r].n_owned_cells).all()
+        glob = meshes[r].cells_global[local]
+        assert (owner[glob] == r).all()
+        p = poss[r].data[:n, 0]
+        np.testing.assert_array_equal(glob, np.floor(p).astype(np.int64))
+        got.extend(p.tolist())
+    assert sorted(got) == pytest.approx(survivors)

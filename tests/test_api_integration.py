@@ -1,0 +1,127 @@
+"""End-to-end API integration: the paper's Figures 4, 5 and 6 listings
+translated line for line, including the ``opp_``-prefixed aliases."""
+import numpy as np
+import pytest
+
+from repro.core.api import (CONST, OPP_INC, OPP_ITERATE_ALL,
+                            OPP_ITERATE_INJECTED, OPP_READ, OPP_REAL,
+                            OPP_RW, OPP_WRITE, Context, decl_const,
+                            opp_arg_dat, opp_decl_dat, opp_decl_map,
+                            opp_decl_particle_set, opp_decl_set,
+                            opp_par_loop, opp_particle_move, push_context)
+
+# Figure 4's mesh: 9 cells (C1-C9), 16 nodes (N1-N16), 3x3 quads;
+# the listing's 1-based ids become 0-based here.
+C2N = [[0, 1, 4, 5], [1, 2, 5, 6], [2, 3, 6, 7],
+       [4, 5, 8, 9], [5, 6, 9, 10], [6, 7, 10, 11],
+       [8, 9, 12, 13], [9, 10, 13, 14], [10, 11, 14, 15]]
+C2C = [[1, 3, -1, -1], [0, 2, 4, -1], [1, 5, -1, -1],
+       [0, 4, 6, -1], [1, 3, 5, 7], [2, 4, 8, -1],
+       [3, 7, -1, -1], [4, 6, 8, -1], [5, 7, -1, -1]]
+
+
+def compute_electric_field_kernel(ef, sd, np0, np1, np2, np3):
+    """Figure 5's first elemental function (a representative body)."""
+    ef[0] += sd[0] * 0.25 * (np0[0] + np1[0] + np2[0] + np3[0])
+
+
+def deposit_charge_on_nodes_kernel(pc, cd0, cd1, cd2, cd3):
+    """Figure 5's second elemental function."""
+    cd0[0] += 0.25 * pc[0]
+    cd1[0] += 0.25 * pc[0]
+    cd2[0] += 0.25 * pc[0]
+    cd3[0] += 0.25 * pc[0]
+
+
+def init_injected(pc):
+    pc[0] = CONST.injected_charge
+
+
+def move_particles_kernel(move, ppos):
+    """Figure 6's template: done / need-move / need-remove blocks."""
+    target = int(ppos[0])
+    if move.cell == target:
+        move.done()                       # OPP_PARTICLE_MOVE_DONE
+    elif target < 0 or target > 8:
+        move.remove()                     # OPP_PARTICLE_NEED_REMOVE
+    else:
+        # walk towards the target cell through the quad neighbours
+        row = move.cell // 3
+        trow = target // 3
+        col = move.cell % 3
+        tcol = target % 3
+        if trow > row:
+            nxt = move.cell + 3
+        elif trow < row:
+            nxt = move.cell - 3
+        elif tcol > col:
+            nxt = move.cell + 1
+        else:
+            nxt = move.cell - 1
+        move.move_to(nxt)                 # OPP_PARTICLE_NEED_MOVE
+
+
+@pytest.mark.parametrize("backend", ["seq", "vec", "omp", "cuda", "hip"])
+def test_paper_listing_workflow(backend):
+    with push_context(Context(backend)):
+        # -- Figure 4: declarations --------------------------------------
+        nodes = opp_decl_set(16, "nodes")
+        cells = opp_decl_set(9, "cells")
+        x = opp_decl_particle_set("x", cells, 4)
+
+        cn = opp_decl_map(cells, nodes, 4, C2N, "cell_to_nodes_map")
+        cc = opp_decl_map(cells, cells, 4, C2C, "cell_to_cell_map")
+        p2cell_i = opp_decl_map(x, cells, 1, [[0], [4], [4], [8]],
+                                "particles_to_cells_index")
+
+        efield = opp_decl_dat(cells, 1, OPP_REAL, None, "electric field")
+        sd = opp_decl_dat(cells, 1, OPP_REAL, np.full(9, 2.0),
+                          "shape deriv")
+        npot = opp_decl_dat(nodes, 1, OPP_REAL, np.arange(16.0),
+                            "node potential")
+        cd = opp_decl_dat(nodes, 1, OPP_REAL, None, "charge density")
+        pc = opp_decl_dat(x, 1, OPP_REAL, np.ones(4), "particle charge")
+        ppos = opp_decl_dat(x, 1, OPP_REAL, [[0.0], [2.0], [6.0], [99.0]],
+                            "particle position")
+
+        # -- Figure 5: loop over mesh elements ---------------------------
+        opp_par_loop(compute_electric_field_kernel,
+                     "Compute Electric Field", cells, OPP_ITERATE_ALL,
+                     opp_arg_dat(efield, OPP_INC),
+                     opp_arg_dat(sd, OPP_READ),
+                     opp_arg_dat(npot, 0, cn, OPP_READ),
+                     opp_arg_dat(npot, 1, cn, OPP_READ),
+                     opp_arg_dat(npot, 2, cn, OPP_READ),
+                     opp_arg_dat(npot, 3, cn, OPP_READ))
+        # cell 0 touches nodes 0,1,4,5 -> mean 2.5, times sd 2.0
+        assert efield.data[0, 0] == pytest.approx(5.0)
+
+        # -- Figure 5: loop over particles (double indirection) ----------
+        opp_par_loop(deposit_charge_on_nodes_kernel,
+                     "Deposit Charge on Nodes", x, OPP_ITERATE_ALL,
+                     opp_arg_dat(pc, OPP_READ),
+                     opp_arg_dat(cd, 0, cn, p2cell_i, OPP_INC),
+                     opp_arg_dat(cd, 1, cn, p2cell_i, OPP_INC),
+                     opp_arg_dat(cd, 2, cn, p2cell_i, OPP_INC),
+                     opp_arg_dat(cd, 3, cn, p2cell_i, OPP_INC))
+        assert cd.data.sum() == pytest.approx(4.0)  # total charge lands
+
+        # -- injection (OPP_ITERATE_INJECTED) ----------------------------
+        decl_const("injected_charge", 3.0)
+        x.begin_injection()
+        sl = x.add_particles(2, cell_indices=[4, 4])
+        ppos.data[sl] = [[8.0], [1.0]]
+        opp_par_loop(init_injected, "Init Injected", x,
+                     OPP_ITERATE_INJECTED, opp_arg_dat(pc, OPP_WRITE))
+        x.end_injection()
+        assert pc.data[:, 0].tolist() == [1.0, 1.0, 1.0, 1.0, 3.0, 3.0]
+
+        # -- Figure 6: particle move -------------------------------------
+        res = opp_particle_move(move_particles_kernel, "Move Particles",
+                                x, cc, p2cell_i,
+                                opp_arg_dat(ppos, OPP_READ))
+        assert res.n_removed == 1                 # the target-99 particle
+        assert x.size == 5
+        # every survivor reached the cell its position names
+        targets = ppos.data[: x.size, 0].astype(int)
+        np.testing.assert_array_equal(p2cell_i.p2c, targets)

@@ -1,0 +1,37 @@
+"""Every example in examples/ must run to completion (deliverable (b))."""
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).resolve().parent.parent
+                   / "examples").glob("*.py"))
+
+EXPECTED = {"quickstart.py", "fempic_duct.py", "cabana_twostream.py",
+            "distributed_mpi.py", "advection_gallery.py",
+            "translator_inspect.py"}
+
+
+def test_expected_examples_present():
+    assert {p.name for p in EXAMPLES} >= EXPECTED
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(path, tmp_path):
+    result = subprocess.run([sys.executable, str(path)],
+                            capture_output=True, text=True, timeout=600,
+                            cwd=path.parent.parent)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must narrate their output"
+
+
+@pytest.mark.parametrize("name", ["quickstart.py",
+                                  "translator_inspect.py"])
+def test_fast_examples_always_run(name, tmp_path):
+    path = next(p for p in EXAMPLES if p.name == name)
+    result = subprocess.run([sys.executable, str(path)],
+                            capture_output=True, text=True, timeout=300,
+                            cwd=path.parent.parent)
+    assert result.returncode == 0, result.stderr[-2000:]

@@ -1,0 +1,189 @@
+"""Additional code-generation coverage: operators, dtypes, globals,
+deep nesting, unroll+branch interaction."""
+import numpy as np
+import pytest
+
+from repro.core.api import (OPP_INC, OPP_ITERATE_ALL, OPP_MAX, OPP_MIN,
+                            OPP_READ, OPP_RW, OPP_WRITE, Context, arg_dat,
+                            arg_gbl, decl_dat, decl_global, decl_set,
+                            par_loop, push_context)
+from repro.core.kernel import Kernel
+from repro.translator.codegen import generate
+
+
+def run_both(fn, *arrays):
+    elemental = [a.copy() for a in arrays]
+    batch = [a.copy() for a in arrays]
+    for i in range(arrays[0].shape[0]):
+        fn(*[a[i] for a in elemental])
+    gen = generate(Kernel(fn))
+    assert gen.vectorized
+    gen.fn(*batch)
+    return elemental, batch
+
+
+def mod_floordiv_kernel(a, b):
+    b[0] = a[0] % 3.0
+    b[1] = a[0] // 2.0
+
+
+def power_kernel(a, b):
+    b[0] = a[0] ** 3
+    b[1] = abs(a[0]) ** 0.5
+
+
+def unroll_with_branch_kernel(a, b):
+    for i in range(3):
+        if a[i] > 0:
+            b[i] = a[i]
+        else:
+            b[i] = -a[i]
+
+
+def deep_nest_kernel(a, b):
+    if a[0] > 0:
+        if a[1] > 0:
+            if a[2] > 0:
+                b[0] = 3.0
+            else:
+                b[0] = 2.0
+        else:
+            b[0] = 1.0
+    else:
+        b[0] = 0.0
+
+
+def elif_chain_kernel(a, b):
+    if a[0] > 0.75:
+        b[0] = 4.0
+    elif a[0] > 0.5:
+        b[0] = 3.0
+    elif a[0] > 0.25:
+        b[0] = 2.0
+    elif a[0] > 0.0:
+        b[0] = 1.0
+    else:
+        b[0] = 0.0
+
+
+def augassign_in_branch_kernel(a, b):
+    b[0] = 1.0
+    if a[0] > 0:
+        b[0] += a[0]
+        b[0] *= 2.0
+
+
+@pytest.mark.parametrize("fn", [mod_floordiv_kernel, power_kernel,
+                                unroll_with_branch_kernel,
+                                deep_nest_kernel, elif_chain_kernel,
+                                augassign_in_branch_kernel])
+def test_vector_matches_elemental(fn, rng):
+    a = rng.normal(size=(64, 3))
+    b = np.zeros((64, 3))
+    (ea, eb), (ba, bb) = run_both(fn, a, b)
+    np.testing.assert_allclose(bb, eb, rtol=1e-13, atol=1e-13)
+
+
+def int_dat_kernel(counter, flag):
+    counter[0] = counter[0] + 1
+    if counter[0] > 2:
+        flag[0] = 1
+
+
+@pytest.mark.parametrize("backend", ["seq", "vec", "cuda"])
+def test_integer_dats(backend):
+    with push_context(Context(backend)):
+        s = decl_set(4)
+        counter = decl_dat(s, 1, np.int64, [0, 1, 2, 3])
+        flag = decl_dat(s, 1, np.int64)
+        par_loop(int_dat_kernel, "count", s, OPP_ITERATE_ALL,
+                 arg_dat(counter, OPP_RW), arg_dat(flag, OPP_RW))
+        assert counter.data[:, 0].tolist() == [1, 2, 3, 4]
+        assert flag.data[:, 0].tolist() == [0, 0, 1, 1]
+        assert counter.dtype == np.int64
+
+
+def gbl_read_kernel(x, params):
+    x[0] = x[0] * params[0] + params[1]
+
+
+@pytest.mark.parametrize("backend", ["seq", "vec"])
+def test_global_read_broadcast(backend):
+    with push_context(Context(backend)):
+        s = decl_set(3)
+        x = decl_dat(s, 1, np.float64, [1.0, 2.0, 3.0])
+        g = decl_global(2, data=[10.0, 5.0])
+        par_loop(gbl_read_kernel, "affine", s, OPP_ITERATE_ALL,
+                 arg_dat(x, OPP_RW), arg_gbl(g, OPP_READ))
+        assert x.data[:, 0].tolist() == [15.0, 25.0, 35.0]
+
+
+def masked_reduction_kernel(x, pos_sum, neg_min):
+    if x[0] > 0:
+        pos_sum[0] += x[0]
+    else:
+        neg_min[0] = min(neg_min[0], x[0])
+
+
+@pytest.mark.parametrize("backend", ["seq", "vec", "omp", "cuda"])
+def test_reductions_under_masks(backend):
+    with push_context(Context(backend)):
+        s = decl_set(6)
+        x = decl_dat(s, 1, np.float64, [1.0, -2.0, 3.0, -7.0, 5.0, -1.0])
+        pos = decl_global(1, data=[0.0])
+        neg = decl_global(1, data=[np.inf])
+        par_loop(masked_reduction_kernel, "red", s, OPP_ITERATE_ALL,
+                 arg_dat(x, OPP_READ),
+                 arg_gbl(pos, OPP_INC),
+                 arg_gbl(neg, OPP_MIN))
+        assert pos.value == 9.0
+        assert neg.value == -7.0
+
+
+def test_generated_function_cached():
+    k = Kernel(mod_floordiv_kernel)
+    assert k.generated("vec") is k.generated("vec")
+
+
+def test_flop_count_triggers_from_par_loop():
+    ctx = Context("vec")
+    with push_context(ctx):
+        s = decl_set(10)
+        a = decl_dat(s, 3, np.float64)
+        b = decl_dat(s, 3, np.float64)
+        par_loop(power_kernel, "pow", s, OPP_ITERATE_ALL,
+                 arg_dat(a, OPP_READ), arg_dat(b, OPP_WRITE))
+    st = ctx.perf.get("pow")
+    assert st.flops > 0
+
+
+def read_then_overwrite_kernel(a, b):
+    t = b[0]          # must snapshot the value, not alias the column
+    b[0] = a[0]
+    b[0] += t
+
+
+def test_local_alias_of_written_param_is_copied(rng):
+    """Regression (found by the fuzzer): in vector form ``t = b[0]`` is a
+    column *view*; without a copy, the later store to ``b`` would corrupt
+    ``t`` and double-count."""
+    a = rng.normal(size=(10, 1))
+    b = rng.normal(size=(10, 1))
+    (ea, eb), (ba, bb) = run_both(read_then_overwrite_kernel, a, b)
+    np.testing.assert_allclose(bb, eb, rtol=1e-14)
+    gen = generate(Kernel(read_then_overwrite_kernel))
+    assert "np.array(b[:, 0])" in gen.source
+
+
+def read_only_param_not_copied():
+    pass
+
+
+def gather_no_copy_kernel(a, b):
+    t = a[0]          # `a` is never written: no defensive copy needed
+    b[0] = t + 1.0
+
+
+def test_unwritten_param_reads_stay_views():
+    gen = generate(Kernel(gather_no_copy_kernel))
+    assert "np.array(a[:, 0])" not in gen.source

@@ -1,0 +1,102 @@
+"""Move-kernel fuzzing: random branch trees ending in move-control calls
+must behave identically under elemental MoveContext semantics and the
+generated masked status-array writes."""
+import textwrap
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kernel import Kernel
+from repro.core.move import MoveContext
+from repro.core.types import MoveStatus
+from repro.translator.codegen import VecMoveContext, generate
+
+ARITY = 3
+
+
+@st.composite
+def leaf(draw):
+    """One terminal move-control statement."""
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        return "move.done()"
+    if kind == 1:
+        return "move.remove()"
+    if kind == 2:
+        return f"move.move_to(move.c2c[{draw(st.integers(0, ARITY - 1))}])"
+    # lane-varying neighbour pick
+    a = draw(st.integers(0, ARITY - 1))
+    b = draw(st.integers(0, ARITY - 1))
+    return (f"move.move_to(move.c2c[{a} if p[0] > "
+            f"{draw(st.floats(-1, 1, allow_nan=False))!r} else {b}])")
+
+
+@st.composite
+def branch_tree(draw, depth=0):
+    """Nested if/else where every path ends in exactly one control call,
+    optionally preceded by a deposit increment."""
+    lines = []
+    if draw(st.booleans()):
+        lines.append(f"acc[0] += p[{draw(st.integers(0, 1))}]")
+    if depth < 2 and draw(st.booleans()):
+        thr = draw(st.floats(-1.5, 1.5, allow_nan=False))
+        comp = draw(st.sampled_from(["p[0]", "p[1]", "move.cell * 0.3"]))
+        then_b = draw(branch_tree(depth=depth + 1))
+        else_b = draw(branch_tree(depth=depth + 1))
+        lines.append(f"if {comp} > {thr!r}:")
+        lines += ["    " + ln for ln in then_b]
+        lines.append("else:")
+        lines += ["    " + ln for ln in else_b]
+    else:
+        lines.append(draw(leaf()))
+    return lines
+
+
+@st.composite
+def move_kernels(draw):
+    body = textwrap.indent("\n".join(draw(branch_tree())), "    ")
+    return f"def fuzz_move(move, p, acc):\n{body}\n"
+
+
+@settings(max_examples=50, deadline=None)
+@given(src=move_kernels(), seed=st.integers(0, 2**16),
+       n=st.integers(1, 30))
+def test_random_move_kernels_agree(src, seed, n):
+    ns = {}
+    exec(compile(src, "<fuzz-move>", "exec"), ns)
+    fn = ns["fuzz_move"]
+    kernel = Kernel(fn)
+    kernel._source = src
+    gen = generate(kernel)
+    assert gen.vectorized, f"fuzzed move kernel fell back:\n{src}"
+    assert gen.is_move
+
+    rng = np.random.default_rng(seed)
+    cells = rng.integers(0, 6, size=n)
+    c2c_rows = rng.integers(-1, 6, size=(n, ARITY))
+    p = rng.normal(size=(n, 2))
+    acc = rng.normal(size=(n, 1))
+
+    e_status = np.empty(n, dtype=np.int64)
+    e_next = np.full(n, -1, dtype=np.int64)
+    e_acc = acc.copy()
+    for i in range(n):
+        m = MoveContext()
+        m.reset(int(cells[i]), c2c_rows[i], 0)
+        fn(m, p[i], e_acc[i])
+        e_status[i] = int(m.status)
+        if m.status == MoveStatus.NEED_MOVE:
+            e_next[i] = m.next_cell
+
+    v = VecMoveContext(cells.copy(), c2c_rows.copy(), 0)
+    v_acc = acc.copy()
+    with np.errstate(invalid="ignore"):
+        gen.fn(v, p.copy(), v_acc)
+    v_next = np.where(v.status == int(MoveStatus.NEED_MOVE),
+                      v.next_cell, -1)
+
+    np.testing.assert_array_equal(v.status, e_status, err_msg=src)
+    np.testing.assert_array_equal(v_next, e_next, err_msg=src)
+    np.testing.assert_allclose(v_acc, e_acc, rtol=1e-12, err_msg=src)

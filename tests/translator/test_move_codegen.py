@@ -1,0 +1,118 @@
+"""Generated move kernels: masked status writes must match elemental
+MoveContext semantics lane for lane."""
+import numpy as np
+import pytest
+
+from repro.core.kernel import Kernel
+from repro.core.move import MoveContext
+from repro.core.types import MoveStatus
+from repro.translator.codegen import VecMoveContext, generate
+
+
+def run_move_both(fn, cells, c2c_rows, *arrays, hop=0):
+    n = cells.shape[0]
+    # elemental
+    e_status = np.empty(n, dtype=np.int64)
+    e_next = np.full(n, -1, dtype=np.int64)
+    e_arrays = [a.copy() for a in arrays]
+    for i in range(n):
+        m = MoveContext()
+        m.reset(int(cells[i]), c2c_rows[i], hop)
+        fn(m, *[a[i] for a in e_arrays])
+        e_status[i] = int(m.status)
+        e_next[i] = m.next_cell if m.status == MoveStatus.NEED_MOVE else -1
+    # generated
+    gen = generate(Kernel(fn))
+    assert gen.vectorized
+    v = VecMoveContext(cells.copy(), c2c_rows.copy(), hop)
+    v_arrays = [a.copy() for a in arrays]
+    gen.fn(v, *v_arrays)
+    v_next = np.where(v.status == int(MoveStatus.NEED_MOVE), v.next_cell, -1)
+    return (e_status, e_next, e_arrays), (v.status, v_next, v_arrays)
+
+
+def walk3_kernel(move, p):
+    lo = move.cell * 1.0
+    if p[0] < lo:
+        move.move_to(move.c2c[0])
+    elif p[0] >= lo + 1.0:
+        move.move_to(move.c2c[1])
+    else:
+        move.done()
+
+
+def remove_kernel(move, p):
+    if p[0] < 0:
+        move.remove()
+    else:
+        move.done()
+
+
+def hop_guard_kernel(move, p):
+    if move.hop == 0:
+        p[1] = p[0] * 2.0
+    move.done()
+
+
+def lane_pick_kernel(move, p):
+    face = 0 if p[0] < 0 else 1
+    move.move_to(move.c2c[face])
+
+
+@pytest.mark.parametrize("positions,start_cells", [
+    ([0.5, 1.5, 2.7, -0.5], [0, 0, 0, 0]),
+    ([3.5, 3.5], [3, 0]),
+])
+def test_walk_statuses_match(positions, start_cells):
+    n_cells = 5
+    c2c = np.array([[i - 1, i + 1 if i + 1 < n_cells else -1]
+                    for i in range(n_cells)], dtype=np.int64)
+    cells = np.array(start_cells, dtype=np.int64)
+    p = np.array(positions, dtype=np.float64).reshape(-1, 1)
+    (es, en, _), (vs, vn, _) = run_move_both(walk3_kernel, cells,
+                                             c2c[cells], p)
+    np.testing.assert_array_equal(vs, es)
+    np.testing.assert_array_equal(vn, en)
+
+
+def test_move_to_negative_becomes_remove():
+    c2c = np.array([[-1, -1]], dtype=np.int64)
+    cells = np.array([0], dtype=np.int64)
+    p = np.array([[5.0]])
+    (es, _, _), (vs, _, _) = run_move_both(walk3_kernel, cells,
+                                           c2c[cells], p)
+    assert es[0] == int(MoveStatus.NEED_REMOVE)
+    np.testing.assert_array_equal(vs, es)
+
+
+def test_remove_call():
+    c2c = np.zeros((2, 1), dtype=np.int64)
+    cells = np.array([0, 0], dtype=np.int64)
+    p = np.array([[-1.0], [1.0]])
+    (es, _, _), (vs, _, _) = run_move_both(remove_kernel, cells,
+                                           c2c[cells], p)
+    assert es.tolist() == [int(MoveStatus.NEED_REMOVE),
+                           int(MoveStatus.MOVE_DONE)]
+    np.testing.assert_array_equal(vs, es)
+
+
+@pytest.mark.parametrize("hop", [0, 1])
+def test_hop_scalar_guard(hop):
+    c2c = np.zeros((3, 1), dtype=np.int64)
+    cells = np.zeros(3, dtype=np.int64)
+    p = np.array([[1.0, 0.0], [2.0, 0.0], [3.0, 0.0]])
+    (es, _, ea), (vs, _, va) = run_move_both(hop_guard_kernel, cells,
+                                             c2c[cells], p, hop=hop)
+    np.testing.assert_array_equal(va[0], ea[0])
+    expected = p[:, 0] * 2.0 if hop == 0 else np.zeros(3)
+    np.testing.assert_array_equal(va[0][:, 1], expected)
+
+
+def test_lane_varying_c2c_gather():
+    c2c = np.array([[10, 20], [30, 40]], dtype=np.int64)
+    cells = np.array([0, 1], dtype=np.int64)
+    p = np.array([[-1.0], [1.0]])
+    (es, en, _), (vs, vn, _) = run_move_both(lane_pick_kernel, cells,
+                                             c2c[cells], p)
+    assert en.tolist() == [10, 40]
+    np.testing.assert_array_equal(vn, en)

@@ -1,0 +1,45 @@
+"""Config-file parsing and dataclass overlay."""
+import pytest
+
+from repro.apps.fempic import FemPicConfig
+from repro.util import apply_to_dataclass, load_config, parse_config_text
+
+
+def test_parse_types():
+    vals = parse_config_text("""
+    # a comment
+    steps = 250
+    den   = 1.0e18
+    use_dh = true
+    mesh = box_48000.dat
+    flag = off
+    """)
+    assert vals == {"steps": 250, "den": 1.0e18, "use_dh": True,
+                    "mesh": "box_48000.dat", "flag": False}
+
+
+def test_inline_comments_and_blank_lines():
+    vals = parse_config_text("a = 1  # trailing\n\n\nb = 2\n")
+    assert vals == {"a": 1, "b": 2}
+
+
+def test_malformed_line_raises():
+    with pytest.raises(ValueError):
+        parse_config_text("no equals sign here")
+    with pytest.raises(ValueError):
+        parse_config_text(" = 3")
+
+
+def test_load_config(tmp_path):
+    f = tmp_path / "run.cfg"
+    f.write_text("nx = 8\nplasma_den = 5e3\n")
+    assert load_config(f) == {"nx": 8, "plasma_den": 5e3}
+
+
+def test_apply_to_dataclass():
+    cfg = FemPicConfig()
+    out = apply_to_dataclass({"nx": 9, "dt": 0.01, "bogus": 1}, cfg)
+    assert out.nx == 9 and out.dt == 0.01
+    assert cfg.nx != 9  # original untouched
+    with pytest.raises(ValueError):
+        apply_to_dataclass({"bogus": 1}, cfg, strict=True)

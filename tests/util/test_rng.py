@@ -1,0 +1,24 @@
+"""Per-rank RNG derivation."""
+import numpy as np
+import pytest
+
+from repro.util import rank_rng
+
+
+def test_reproducible():
+    a = rank_rng(7, 0, 4).random(5)
+    b = rank_rng(7, 0, 4).random(5)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_ranks_independent():
+    a = rank_rng(7, 0, 4).random(100)
+    b = rank_rng(7, 1, 4).random(100)
+    assert not np.allclose(a, b)
+
+
+def test_bounds():
+    with pytest.raises(IndexError):
+        rank_rng(7, 4, 4)
+    with pytest.raises(IndexError):
+        rank_rng(7, -1, 4)

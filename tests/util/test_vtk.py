@@ -1,0 +1,72 @@
+"""Legacy-VTK writer: structural validity of the emitted files."""
+import numpy as np
+import pytest
+
+from repro.apps.fempic import FemPicConfig, FemPicSimulation
+from repro.util.vtk import write_vtk_mesh, write_vtk_particles
+
+
+def parse_sections(text):
+    out = {}
+    for line in text.splitlines():
+        head = line.split(" ")[0]
+        if head in ("POINTS", "CELLS", "CELL_TYPES", "CELL_DATA",
+                    "POINT_DATA", "VECTORS", "SCALARS"):
+            out.setdefault(head, []).append(line)
+    return out
+
+
+def test_mesh_file_structure(tmp_path):
+    sim = FemPicSimulation(FemPicConfig.smoke().scaled(n_steps=3))
+    sim.run()
+    path = write_vtk_mesh(
+        tmp_path / "duct.vtk", sim.mesh.points, sim.mesh.cell2node,
+        cell_data={"electric_field": sim.ef.data,
+                   "volume": sim.cvol.data},
+        point_data={"potential": sim.phi.data})
+    text = path.read_text()
+    sec = parse_sections(text)
+    assert sec["POINTS"][0] == f"POINTS {sim.mesh.n_nodes} double"
+    assert sec["CELLS"][0].split()[1] == str(sim.mesh.n_cells)
+    assert f"CELL_DATA {sim.mesh.n_cells}" in text
+    assert f"POINT_DATA {sim.mesh.n_nodes}" in text
+    assert "VECTORS electric_field double" in text
+    assert "SCALARS potential double 1" in text
+    # all tets
+    assert text.count("\n10\n") >= 1
+
+
+def test_particle_file_structure(tmp_path):
+    rng = np.random.default_rng(0)
+    pos = rng.random((17, 3))
+    vel = rng.normal(size=(17, 3))
+    w = rng.random(17)
+    path = write_vtk_particles(tmp_path / "p.vtk", pos,
+                               fields={"velocity": vel, "weight": w})
+    text = path.read_text()
+    assert "POINTS 17 double" in text
+    assert "CELLS 17 34" in text
+    assert "VECTORS velocity double" in text
+    assert "SCALARS weight double 1" in text
+
+
+def test_field_row_mismatch_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        write_vtk_particles(tmp_path / "p.vtk", np.zeros((4, 3)),
+                            fields={"w": np.zeros(3)})
+
+
+def test_shape_validation(tmp_path):
+    with pytest.raises(ValueError):
+        write_vtk_particles(tmp_path / "p.vtk", np.zeros((4, 2)))
+    with pytest.raises(ValueError):
+        write_vtk_mesh(tmp_path / "m.vtk", np.zeros((4, 3)),
+                       np.zeros((2, 3), dtype=int))
+
+
+def test_multicomponent_scalar_fields(tmp_path):
+    path = write_vtk_particles(tmp_path / "p.vtk", np.zeros((2, 3)),
+                               fields={"lc": np.ones((2, 4))})
+    text = path.read_text()
+    for c in range(4):
+        assert f"SCALARS lc_{c} double 1" in text
