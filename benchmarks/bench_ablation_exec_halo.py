@@ -9,7 +9,6 @@ but sends nothing; reduction computes owned work only but ships every
 ghost target row both ways.
 """
 import numpy as np
-import pytest
 
 from repro.core.api import (OPP_INC, OPP_ITERATE_ALL, OPP_READ, Context,
                             arg_dat, decl_dat, decl_map, decl_set,

@@ -10,7 +10,6 @@ Model: the fixed global problem is divided over each system's
 power-equivalent device count; per-device time comes from the measured
 kernel counters priced on that device.
 """
-import pytest
 
 from repro.apps.cabana import CabanaConfig, CabanaSimulation
 from repro.apps.fempic import FemPicConfig, FemPicSimulation

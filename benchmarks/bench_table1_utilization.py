@@ -8,8 +8,6 @@ Derivation here: per-rank busy time = device model over that rank's
 measured kernel counters; comm time = the counted per-rank message
 traffic through the cluster network model; sync = load imbalance.
 """
-import numpy as np
-import pytest
 
 from repro.apps.cabana import CabanaConfig
 from repro.apps.cabana.distributed import DistributedCabana

@@ -4,7 +4,6 @@ iteration against results from the original implementation, showing error
 in the order 1e-15 (i.e., less than machine precision)".
 """
 import numpy as np
-import pytest
 
 from repro.apps.cabana import (CabanaConfig, CabanaSimulation,
                                StructuredCabanaReference)

@@ -1,0 +1,91 @@
+"""Gate a benchmark JSON payload against a committed baseline.
+
+Usage (the CI benchmark-smoke job)::
+
+    python benchmarks/check_regression.py BENCH_baseline.json current.json \
+        [--tolerance 0.25]
+
+The baseline's ``gates`` list names the metrics that matter and which
+direction is good:
+
+* ``"bool"``   — the current value must be true (correctness flags);
+* ``"higher"`` — regression when current < baseline * (1 - tolerance);
+* ``"lower"``  — regression when current > baseline * (1 + tolerance).
+
+Only gated metrics are compared; everything else in the payload is
+informational (absolute wall-clock on shared runners is noise, ratios and
+correctness flags are signal).  Exit status 1 on any regression.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def compare(baseline: dict, current: dict, tolerance: float) -> list:
+    """Return a list of human-readable regression messages (empty = pass)."""
+    failures = []
+    base_metrics = baseline.get("metrics", {})
+    cur_metrics = current.get("metrics", {})
+    for gate in baseline.get("gates", []):
+        name = gate["metric"]
+        direction = gate["direction"]
+        tol = float(gate.get("tolerance", tolerance))
+        if name not in cur_metrics:
+            failures.append(f"{name}: missing from current payload")
+            continue
+        cur = cur_metrics[name]
+        if direction == "bool":
+            if cur is not True:
+                failures.append(f"{name}: expected true, got {cur!r}")
+            continue
+        base = base_metrics.get(name)
+        if base is None:
+            failures.append(f"{name}: missing from baseline payload")
+            continue
+        if direction == "higher":
+            floor = base * (1.0 - tol)
+            if cur < floor:
+                failures.append(
+                    f"{name}: {cur:.4g} < {floor:.4g} "
+                    f"(baseline {base:.4g}, tolerance {tol:.0%})")
+        elif direction == "lower":
+            ceil = base * (1.0 + tol)
+            if cur > ceil:
+                failures.append(
+                    f"{name}: {cur:.4g} > {ceil:.4g} "
+                    f"(baseline {base:.4g}, tolerance {tol:.0%})")
+        else:
+            failures.append(f"{name}: unknown gate direction {direction!r}")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when a benchmark payload regresses vs a baseline")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="freshly measured JSON")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed relative regression (default 25%%)")
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(Path(args.baseline).read_text())
+    current = json.loads(Path(args.current).read_text())
+    failures = compare(baseline, current, args.tolerance)
+    for metric in baseline.get("gates", []):
+        name = metric["metric"]
+        print(f"  {name}: baseline={baseline.get('metrics', {}).get(name)!r}"
+              f" current={current.get('metrics', {}).get(name)!r}")
+    if failures:
+        print("BENCHMARK REGRESSION:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("benchmark gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

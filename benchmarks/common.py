@@ -15,8 +15,10 @@ Each benchmark (one per paper table/figure — see DESIGN.md §4):
 from __future__ import annotations
 
 import dataclasses
+import json
+import time
 from pathlib import Path
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 from repro.perf import MACHINES, kernel_time
 from repro.perf.timers import LoopStats
@@ -63,6 +65,7 @@ def scale_stats(stats: LoopStats, factor: float) -> LoopStats:
         nbytes=stats.nbytes * factor,
         hops=int(stats.hops * factor),
         extras=dict(stats.extras),
+        worker_seconds=list(stats.worker_seconds),
     )
     return out
 
@@ -119,3 +122,87 @@ def total_time(loops: Sequence[LoopStats], device: str,
                strategy: str | None = None, scale=1.0) -> float:
     return sum(device_breakdown(loops, device, strategy=strategy,
                                 scale=scale).values())
+
+
+# -- machine-readable smoke benchmarking (CI regression gating) ---------------
+
+
+def write_json(name: str, payload: dict, out: str | None = None) -> Path:
+    """Write a benchmark payload as JSON (to ``results/`` by default)."""
+    if out is not None:
+        path = Path(out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+    else:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def fempic_smoke_payload(nworkers: int = 4, ppc: int = 150,
+                         steps: int = 2) -> dict:
+    """Run the FemPIC smoke problem under seq / vec / mp and return a
+    machine-readable comparison.
+
+    The sequential elemental backend is the semantic oracle *and* the
+    wall-clock baseline of the ISSUE acceptance criterion ("mp >= 2x over
+    seq"); vec rides along to separate vectorisation gain from
+    multiprocessing gain.  Correctness flags compare final fields and
+    particle state against seq with ``np.allclose``.
+    """
+    import numpy as np
+
+    from repro.apps.fempic import FemPicConfig, FemPicSimulation
+
+    def run(backend: str, options: dict):
+        cfg = FemPicConfig(nx=2, ny=2, nz=6, n_steps=steps, dt=0.3,
+                           plasma_den=2e3, n0=2e3, backend=backend,
+                           backend_options=options, move_strategy="dh")
+        cfg = quasineutral(cfg, ppc)
+        sim = FemPicSimulation(cfg)
+        sim.seed_uniform_plasma(ppc)
+        t0 = time.perf_counter()
+        sim.run()
+        seconds = time.perf_counter() - t0
+        return sim, seconds
+
+    seq, t_seq = run("seq", {})
+    vec, t_vec = run("vec", {})
+    mp, t_mp = run("mp", {"nworkers": nworkers})
+    mp_backend = mp.ctx.backend
+
+    def matches(sim) -> bool:
+        return all(
+            np.allclose(getattr(sim, a).data, getattr(seq, a).data,
+                        rtol=1e-9, atol=1e-18)
+            for a in ("phi", "ncd", "ef", "pos", "vel", "lc")
+        ) and sim.parts.size == seq.parts.size
+
+    payload = {
+        "bench": "fempic_smoke",
+        "config": {"nx": 2, "ny": 2, "nz": 6, "ppc": ppc, "steps": steps,
+                   "move_strategy": "dh", "nworkers": nworkers},
+        "backends": {
+            "seq": {"seconds": t_seq},
+            "vec": {"seconds": t_vec},
+            "mp": {"seconds": t_mp, "nworkers": nworkers,
+                   **mp_backend.stats},
+        },
+        "metrics": {
+            "speedup_vec_vs_seq": t_seq / t_vec,
+            "speedup_mp_vs_seq": t_seq / t_mp,
+            "allclose_vec_vs_seq": matches(vec),
+            "allclose_mp_vs_seq": matches(mp),
+            "n_particles": int(seq.parts.size),
+            "field_energy_final":
+                float(seq.history["field_energy"][-1]),
+        },
+        #: metrics check_regression.py gates on (direction-aware)
+        "gates": [
+            {"metric": "allclose_vec_vs_seq", "direction": "bool"},
+            {"metric": "allclose_mp_vs_seq", "direction": "bool"},
+            {"metric": "speedup_mp_vs_seq", "direction": "higher"},
+        ],
+    }
+    mp_backend.close()
+    return payload

@@ -8,7 +8,6 @@ slow secondaries.  Per-cell velocity moments track the evolution.
 
 Run:  python examples/plasma_toolbox.py
 """
-import numpy as np
 
 from repro.apps.fempic import FemPicConfig, FemPicSimulation
 from repro.core.api import push_context

@@ -18,7 +18,7 @@ from repro.core.api import (OPP_INC, OPP_ITERATE_ALL, OPP_READ, OPP_RW,
                             OPP_WRITE, Context, arg_dat, arg_gbl, decl_dat,
                             decl_global, decl_map, decl_particle_set,
                             decl_set, par_loop, particle_move, push_context)
-from repro.mesh import STENCIL, FACES, HexMesh
+from repro.mesh import STENCIL, HexMesh
 
 from . import kernels as k
 from .config import CabanaConfig

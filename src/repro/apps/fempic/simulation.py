@@ -13,11 +13,10 @@ from typing import Optional
 import numpy as np
 import scipy.sparse as sp
 
-from repro.core.api import (CONST, OPP_INC, OPP_ITERATE_ALL,
-                            OPP_ITERATE_INJECTED, OPP_READ, OPP_RW,
-                            OPP_WRITE, Context, arg_dat, arg_gbl, decl_const,
-                            decl_dat, decl_global, decl_map,
-                            decl_particle_set, decl_set, par_loop,
+from repro.core.api import (OPP_INC, OPP_ITERATE_ALL, OPP_ITERATE_INJECTED,
+                            OPP_READ, OPP_RW, OPP_WRITE, Context, arg_dat,
+                            arg_gbl, decl_const, decl_dat, decl_global,
+                            decl_map, decl_particle_set, decl_set, par_loop,
                             particle_move, push_context)
 from repro.fem import DirichletSystem, KSPSolver, build_stiffness, \
     lumped_node_volumes

@@ -12,7 +12,7 @@ from repro.core.api import (OPP_INC, OPP_ITERATE_ALL, OPP_READ, OPP_RW,
                             decl_set, par_loop, particle_move,
                             push_context)
 from repro.fem import DirichletSystem, KSPSolver
-from repro.mesh.tri import TriMesh, square_tri_mesh, tri_p1_gradients
+from repro.mesh.tri import TriMesh, square_tri_mesh
 
 from . import kernels as k
 from .config import TwoDConfig

@@ -7,6 +7,7 @@ a backend class driving the same generated kernels differently):
 ``seq``    elemental reference execution (the semantic oracle)
 ``vec``    generated NumPy vector code, configurable reduction strategy
 ``omp``    simulated OpenMP: chunked threads + scatter arrays
+``mp``     true shared-memory multiprocessing: worker pool + shm dats
 ``cuda``   simulated NVIDIA GPU: vector code + safe atomics
 ``hip``    simulated AMD GPU: vector code + unsafe atomics / seg. red.
 ``xe``     simulated Intel GPU (Data Center Max): the future-work target
@@ -16,18 +17,20 @@ from __future__ import annotations
 
 from .base import Backend
 from .device import DeviceBackend
+from .mp import MpBackend
 from .omp import OmpBackend
 from .seq import SeqBackend
 from .vec import VecBackend
 
 __all__ = ["Backend", "SeqBackend", "VecBackend", "OmpBackend",
-           "DeviceBackend", "make_backend", "available_backends",
-           "register_backend"]
+           "MpBackend", "DeviceBackend", "make_backend",
+           "available_backends", "register_backend"]
 
 _REGISTRY = {
     "seq": lambda **kw: SeqBackend(**kw),
     "vec": lambda **kw: VecBackend(**kw),
     "omp": lambda **kw: OmpBackend(**kw),
+    "mp": lambda **kw: MpBackend(**kw),
     "cuda": lambda **kw: DeviceBackend(kind="cuda", **kw),
     "hip": lambda **kw: DeviceBackend(kind="hip", **kw),
     # the paper's future work: "extend the code-generation to produce

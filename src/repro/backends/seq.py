@@ -13,7 +13,7 @@ import numpy as np
 from ..core.args import ArgKind
 from ..core.loops import ParLoop
 from ..core.move import MoveContext, MoveLoop, MoveResult
-from ..core.types import AccessMode, MoveStatus
+from ..core.types import MoveStatus
 from .base import Backend
 
 __all__ = ["SeqBackend"]

@@ -29,7 +29,10 @@ def _build_parser() -> argparse.ArgumentParser:
     fp.add_argument("config", nargs="?", help="key=value config file")
     fp.add_argument("--steps", type=int, default=None)
     fp.add_argument("--backend", default=None,
-                    choices=["seq", "vec", "omp", "cuda", "hip", "xe"])
+                    choices=["seq", "vec", "omp", "mp", "cuda", "hip",
+                             "xe"])
+    fp.add_argument("--nworkers", type=int, default=None, metavar="N",
+                    help="worker processes for --backend mp")
     fp.add_argument("--move", default=None, choices=["mh", "dh"])
     fp.add_argument("--mesh-file", default=None)
     fp.add_argument("--vtk", default=None, metavar="DIR",
@@ -41,7 +44,10 @@ def _build_parser() -> argparse.ArgumentParser:
     cb.add_argument("--steps", type=int, default=None)
     cb.add_argument("--ppc", type=int, default=None)
     cb.add_argument("--backend", default=None,
-                    choices=["seq", "vec", "omp", "cuda", "hip", "xe"])
+                    choices=["seq", "vec", "omp", "mp", "cuda", "hip",
+                             "xe"])
+    cb.add_argument("--nworkers", type=int, default=None, metavar="N",
+                    help="worker processes for --backend mp")
     cb.add_argument("--pusher", default=None,
                     choices=["boris", "velocity_verlet", "vay",
                              "higuera_cary"])
@@ -80,6 +86,13 @@ def _overlay(cfg, args, fields) -> object:
     overrides = {dst: getattr(args, src)
                  for src, dst in fields.items()
                  if getattr(args, src, None) is not None}
+    if getattr(args, "nworkers", None) is not None:
+        backend = overrides.get("backend", cfg.backend)
+        if backend != "mp":
+            raise SystemExit(
+                f"error: --nworkers applies to --backend mp, not {backend!r}")
+        overrides["backend_options"] = dict(cfg.backend_options,
+                                            nworkers=args.nworkers)
     return cfg.scaled(**overrides) if overrides else cfg
 
 

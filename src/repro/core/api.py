@@ -17,7 +17,6 @@ listings translate one-to-one::
 """
 from __future__ import annotations
 
-from typing import Optional
 
 from .args import arg_dat, arg_gbl
 from .context import Context, get_context, push_context, set_backend

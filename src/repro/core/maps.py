@@ -95,6 +95,22 @@ class Map:
             raise TypeError(f"{self.name!r} is not a particle-to-cell map")
         return self._raw[: self.from_set.size, 0]
 
+    @property
+    def raw(self) -> np.ndarray:
+        """Full backing connectivity (capacity rows for particle maps)."""
+        return self._raw
+
+    def adopt_raw(self, buffer: np.ndarray) -> None:
+        """Swap the backing storage for ``buffer`` (same shape/dtype),
+        copying current contents in — see :meth:`repro.core.dats.Dat.adopt_raw`."""
+        if buffer.shape != self._raw.shape or buffer.dtype != self._raw.dtype:
+            raise ValueError(
+                f"map {self.name!r}: adopted buffer {buffer.shape}/"
+                f"{buffer.dtype} does not match backing array "
+                f"{self._raw.shape}/{self._raw.dtype}")
+        buffer[:] = self._raw
+        self._raw = buffer
+
     def _grow(self, new_capacity: int) -> None:
         grown = np.full((new_capacity, self.arity), -1, dtype=np.int64)
         grown[: self._raw.shape[0]] = self._raw

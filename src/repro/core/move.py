@@ -87,6 +87,9 @@ class MoveResult:
         self.total_hops: int = 0
         #: worst per-hop collision depth on indirect-INC scatters
         self.max_collisions: int = 0
+        #: backend-specific perf extras merged into the loop record
+        #: (e.g. per-worker wall seconds from the ``mp`` backend)
+        self.extras: dict = {}
 
     @property
     def n_foreign(self) -> int:
@@ -180,5 +183,6 @@ def particle_move(kernel, name: str, pset: ParticleSet, c2c_map: Map,
                                           for a in loop.args),
                          hops=result.total_hops, is_move=True,
                          collisions=result.max_collisions,
-                         branches=loop.kernel.branch_count())
+                         branches=loop.kernel.branch_count(),
+                         **result.extras)
     return result

@@ -8,7 +8,6 @@ every backend and inherit its race handling).
 """
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

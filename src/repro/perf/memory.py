@@ -11,7 +11,7 @@ from typing import List
 
 from ..core.dats import Dat
 from ..core.maps import Map
-from ..core.sets import ParticleSet, Set
+from ..core.sets import ParticleSet
 
 __all__ = ["MemoryReport", "memory_report"]
 

@@ -10,7 +10,7 @@ machine-model kernel time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from .machine import MachineModel, kernel_time
 from .timers import LoopStats

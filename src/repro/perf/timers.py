@@ -29,6 +29,9 @@ class LoopStats:
     indirect_inc: bool = False
     is_move: bool = False
     extras: dict = field(default_factory=dict)
+    #: accumulated busy seconds per parallel worker (shared-memory
+    #: backends report one entry per worker per call; index = worker id)
+    worker_seconds: List[float] = field(default_factory=list)
 
     @property
     def arithmetic_intensity(self) -> float:
@@ -38,6 +41,15 @@ class LoopStats:
     @property
     def mean_seconds(self) -> float:
         return self.seconds / self.calls if self.calls else 0.0
+
+    @property
+    def load_imbalance(self) -> float:
+        """max/mean busy time across workers (1.0 = perfect balance;
+        0.0 when the loop never ran on a worker pool)."""
+        busy = [s for s in self.worker_seconds if s > 0.0]
+        if not busy:
+            return 0.0
+        return max(busy) * len(busy) / sum(busy)
 
 
 class PerfRecorder:
@@ -53,7 +65,7 @@ class PerfRecorder:
                     flops: float = 0.0, nbytes: float = 0.0,
                     indirect_inc: bool = False, hops: int = 0,
                     is_move: bool = False, collisions: int = 0,
-                    **extras) -> None:
+                    worker_seconds=None, **extras) -> None:
         if not self.enabled:
             return
         if self.trace is not None:
@@ -72,6 +84,14 @@ class PerfRecorder:
         st.max_collisions = max(st.max_collisions, collisions)
         st.indirect_inc = st.indirect_inc or indirect_inc
         st.is_move = st.is_move or is_move
+        if worker_seconds:
+            # roll up per-worker busy time across calls (pad if a later
+            # call used more workers than an earlier one)
+            if len(st.worker_seconds) < len(worker_seconds):
+                st.worker_seconds.extend(
+                    [0.0] * (len(worker_seconds) - len(st.worker_seconds)))
+            for i, s in enumerate(worker_seconds):
+                st.worker_seconds[i] += float(s)
         for k, v in extras.items():
             st.extras[k] = v
 

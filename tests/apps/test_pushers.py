@@ -88,7 +88,10 @@ def test_gyration_angle_matches_tan_half(constants, pusher):
     hist = drive(pusher, [0.2, 0.0, 0.0], e=(0, 0, 0), b=(0, 0, bz),
                  steps=1, cfg=cfg)
     v0, v1 = hist[0, :2], hist[1, :2]
-    angle = np.arctan2(np.cross(v0, v1), v0 @ v1)
+    # scalar z-component of the 2-D cross product (np.cross on 2-D
+    # vectors is deprecated as of NumPy 2.0)
+    cross_z = v0[0] * v1[1] - v0[1] * v1[0]
+    angle = np.arctan2(cross_z, v0 @ v1)
     t = cfg.qsp * cfg.dt / (2 * cfg.msp) * bz
     assert abs(angle) == pytest.approx(2 * np.arctan(abs(t)), rel=1e-12)
     # dv/dt = (q/m) v × B rotates clockwise about B for q > 0, i.e. the

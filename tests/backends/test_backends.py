@@ -11,7 +11,7 @@ from repro.core.api import (OPP_INC, OPP_ITERATE_ALL, OPP_READ, OPP_RW,
                             decl_particle_set, decl_set, par_loop,
                             particle_move, push_context)
 
-OTHERS = ["vec", "omp", "cuda", "hip"]
+OTHERS = ["vec", "omp", "cuda", "hip", "mp"]
 
 
 def saxpy_kernel(x, y):

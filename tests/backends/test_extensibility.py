@@ -6,7 +6,6 @@ import pytest
 from repro.backends import (VecBackend, available_backends, make_backend,
                             register_backend)
 from repro.backends import __init__ as _  # noqa: F401
-from repro.core.api import Context, push_context
 
 
 class ColoringBackend(VecBackend):

@@ -4,10 +4,9 @@ drivers."""
 import numpy as np
 import pytest
 
-from repro.core.api import (CONST, OPP_INC, OPP_READ, OPP_RW, Context,
-                            arg_dat, decl_const, decl_dat, decl_map,
-                            decl_particle_set, decl_set, particle_move,
-                            push_context)
+from repro.core.api import (OPP_INC, OPP_READ, Context, arg_dat, decl_const,
+                            decl_dat, decl_map, decl_particle_set, decl_set,
+                            particle_move, push_context)
 from repro.core.move import MoveLoop
 from repro.core.types import MoveStatus
 

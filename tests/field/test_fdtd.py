@@ -1,6 +1,4 @@
 """Vacuum FDTD checks of the CabanaPIC field kernels."""
-import numpy as np
-import pytest
 
 from repro.field import seed_standing_wave, vacuum_cavity_energy_series
 

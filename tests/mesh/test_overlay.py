@@ -3,7 +3,6 @@ import numpy as np
 import pytest
 
 from repro.mesh import StructuredOverlay, duct_mesh
-from repro.mesh.geometry import barycentric_coords
 
 
 @pytest.fixture(scope="module")

@@ -2,8 +2,7 @@
 import numpy as np
 import pytest
 
-from repro.mesh.tri import (TriMesh, square_tri_mesh, tri_areas,
-                            tri_p1_gradients)
+from repro.mesh.tri import TriMesh, square_tri_mesh
 
 
 @pytest.fixture(scope="module")

@@ -1,5 +1,4 @@
 """Memory-footprint accounting."""
-import pytest
 
 from repro.apps.fempic import FemPicConfig, FemPicSimulation
 from repro.perf import memory_report

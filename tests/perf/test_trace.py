@@ -1,11 +1,10 @@
 """Chrome-trace export of loop timelines."""
 import json
 
-import numpy as np
 
 from repro.apps.fempic import FemPicConfig, FemPicSimulation
 from repro.apps.fempic.distributed import DistributedFemPic
-from repro.perf import TraceLog, attach_trace, export_chrome_trace
+from repro.perf import attach_trace, export_chrome_trace
 
 
 def test_trace_records_loop_events():

@@ -3,9 +3,7 @@ global move."""
 import numpy as np
 import pytest
 
-from repro.core.api import (OPP_READ, Context, arg_dat, decl_dat, decl_map,
-                            decl_particle_set, decl_set, particle_move,
-                            push_context)
+from repro.core.api import decl_dat, decl_map, decl_particle_set, decl_set
 from repro.mesh import StructuredOverlay, duct_mesh
 from repro.runtime import (DirectHopGlobalMover, SimComm, build_rank_meshes,
                            direct_hop_assign, partition)

@@ -6,7 +6,7 @@ from repro.core.api import (OPP_READ, Context, arg_dat, decl_dat, decl_map,
                             decl_particle_set, decl_set)
 from repro.core.move import MoveResult
 from repro.runtime import (SimComm, build_rank_meshes, migrate,
-                           mpi_particle_move, pack_particles, partition)
+                           mpi_particle_move, pack_particles)
 from repro.runtime.exchange import unpack_particles
 
 

@@ -1,6 +1,5 @@
 """Simulated MPI-RMA windows."""
 import numpy as np
-import pytest
 
 from repro.runtime import RMAWindow, SimComm
 

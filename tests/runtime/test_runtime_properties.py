@@ -5,9 +5,8 @@ import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
-from repro.core.api import (OPP_READ, Context, arg_dat, decl_dat,
-                            decl_map, decl_particle_set, decl_set,
-                            push_context)
+from repro.core.api import (OPP_READ, Context, arg_dat, decl_dat, decl_map,
+                            decl_particle_set, decl_set)
 from repro.runtime import (SimComm, build_rank_meshes, mpi_particle_move,
                            partition)
 

@@ -5,10 +5,10 @@ import pytest
 
 from repro.core.api import (CONST, OPP_INC, OPP_ITERATE_ALL,
                             OPP_ITERATE_INJECTED, OPP_READ, OPP_REAL,
-                            OPP_RW, OPP_WRITE, Context, decl_const,
-                            opp_arg_dat, opp_decl_dat, opp_decl_map,
-                            opp_decl_particle_set, opp_decl_set,
-                            opp_par_loop, opp_particle_move, push_context)
+                            OPP_WRITE, Context, decl_const, opp_arg_dat,
+                            opp_decl_dat, opp_decl_map, opp_decl_particle_set,
+                            opp_decl_set, opp_par_loop, opp_particle_move,
+                            push_context)
 
 # Figure 4's mesh: 9 cells (C1-C9), 16 nodes (N1-N16), 3x3 quads;
 # the listing's 1-based ids become 0-based here.

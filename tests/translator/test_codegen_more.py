@@ -3,10 +3,10 @@ deep nesting, unroll+branch interaction."""
 import numpy as np
 import pytest
 
-from repro.core.api import (OPP_INC, OPP_ITERATE_ALL, OPP_MAX, OPP_MIN,
-                            OPP_READ, OPP_RW, OPP_WRITE, Context, arg_dat,
-                            arg_gbl, decl_dat, decl_global, decl_set,
-                            par_loop, push_context)
+from repro.core.api import (OPP_INC, OPP_ITERATE_ALL, OPP_MIN, OPP_READ,
+                            OPP_RW, OPP_WRITE, Context, arg_dat, arg_gbl,
+                            decl_dat, decl_global, decl_set, par_loop,
+                            push_context)
 from repro.core.kernel import Kernel
 from repro.translator.codegen import generate
 

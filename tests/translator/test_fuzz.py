@@ -8,7 +8,6 @@ computes the same thing.
 import textwrap
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -4,7 +4,6 @@ generated masked status-array writes."""
 import textwrap
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

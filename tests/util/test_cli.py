@@ -1,5 +1,4 @@
 """CLI: the artifact's `<app_binary> <config_file>` workflow."""
-import numpy as np
 import pytest
 
 from repro.cli import main
