@@ -9,6 +9,8 @@ The baseline's ``gates`` list names the metrics that matter and which
 direction is good:
 
 * ``"bool"``   — the current value must be true (correctness flags);
+* ``"equal"``  — the current value must equal the baseline exactly
+  (deterministic counts; no tolerance applies);
 * ``"higher"`` — regression when current < baseline * (1 - tolerance);
 * ``"lower"``  — regression when current > baseline * (1 + tolerance).
 
@@ -45,7 +47,11 @@ def compare(baseline: dict, current: dict, tolerance: float) -> list:
         if base is None:
             failures.append(f"{name}: missing from baseline payload")
             continue
-        if direction == "higher":
+        if direction == "equal":
+            if cur != base:
+                failures.append(
+                    f"{name}: {cur!r} != baseline {base!r} (exact gate)")
+        elif direction == "higher":
             floor = base * (1.0 - tol)
             if cur < floor:
                 failures.append(

@@ -153,6 +153,9 @@ def fempic_smoke_payload(nworkers: int = 4, ppc: int = 150,
     import numpy as np
 
     from repro.apps.fempic import FemPicConfig, FemPicSimulation
+    from repro.core.loops import active_loop_hooks
+
+    hooks_before = active_loop_hooks()
 
     def run(backend: str, options: dict):
         cfg = FemPicConfig(nx=2, ny=2, nz=6, n_steps=steps, dt=0.3,
@@ -170,6 +173,12 @@ def fempic_smoke_payload(nworkers: int = 4, ppc: int = 150,
     vec, t_vec = run("vec", {})
     mp, t_mp = run("mp", {"nworkers": nworkers})
     mp_backend = mp.ctx.backend
+
+    # the sanitizer and its loop hooks are strictly opt-in: the gated
+    # default path must run with zero instrumentation
+    uninstrumented = (hooks_before == 0 and active_loop_hooks() == 0
+                      and all(s.ctx.backend.name != "sanitizer"
+                              for s in (seq, vec, mp)))
 
     def matches(sim) -> bool:
         return all(
@@ -193,6 +202,7 @@ def fempic_smoke_payload(nworkers: int = 4, ppc: int = 150,
             "speedup_mp_vs_seq": t_seq / t_mp,
             "allclose_vec_vs_seq": matches(vec),
             "allclose_mp_vs_seq": matches(mp),
+            "default_path_uninstrumented": uninstrumented,
             "n_particles": int(seq.parts.size),
             "field_energy_final":
                 float(seq.history["field_energy"][-1]),
@@ -201,6 +211,8 @@ def fempic_smoke_payload(nworkers: int = 4, ppc: int = 150,
         "gates": [
             {"metric": "allclose_vec_vs_seq", "direction": "bool"},
             {"metric": "allclose_mp_vs_seq", "direction": "bool"},
+            {"metric": "default_path_uninstrumented", "direction": "bool"},
+            {"metric": "n_particles", "direction": "equal"},
             {"metric": "speedup_mp_vs_seq", "direction": "higher"},
         ],
     }

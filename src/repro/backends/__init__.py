@@ -26,6 +26,12 @@ __all__ = ["Backend", "SeqBackend", "VecBackend", "OmpBackend",
            "MpBackend", "DeviceBackend", "make_backend",
            "available_backends", "register_backend"]
 
+def _make_sanitizer(**kw):
+    # deferred import: repro.verify imports from repro.backends
+    from ..verify.sanitize import SanitizerBackend
+    return SanitizerBackend(**kw)
+
+
 _REGISTRY = {
     "seq": lambda **kw: SeqBackend(**kw),
     "vec": lambda **kw: VecBackend(**kw),
@@ -36,6 +42,8 @@ _REGISTRY = {
     # the paper's future work: "extend the code-generation to produce
     # parallelizations for other architectures, such as Intel GPUs"
     "xe": lambda **kw: DeviceBackend(kind="xe", **kw),
+    # shadow execution with access-descriptor checking (repro.verify)
+    "sanitizer": _make_sanitizer,
 }
 
 

@@ -28,6 +28,11 @@ class Backend(abc.ABC):
     #: registry name, set by subclasses
     name = "abstract"
 
+    #: constructor options the conformance harness uses for this backend
+    #: (small pools / chunk sizes so the parallel machinery engages on
+    #: mini-meshes); subclasses override as needed
+    conformance_options: dict = {}
+
     @abc.abstractmethod
     def execute(self, loop: ParLoop) -> Optional[dict]:
         """Run a parallel loop; may return extra perf counters."""

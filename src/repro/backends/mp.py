@@ -368,7 +368,11 @@ class _Arena:
         dtype = dat.raw.dtype
         key = (id(dat), worker)
         ent = self._scatter.get(key)
+        # CPython reuses object ids, so a key hit may be a *different*
+        # dat than the one that created the segment: any component-shape
+        # or dtype mismatch must recreate, not reuse
         if ent is None or ent[1].shape[0] < shape[0] \
+                or ent[1].shape[1:] != shape[1:] \
                 or ent[1].dtype != dtype:
             if ent is not None:
                 self._drop(ent)
@@ -467,6 +471,10 @@ class MpBackend(VecBackend):
     scheduled for real across OS processes)."""
 
     name = "mp"
+
+    #: small pool + tiny chunks so conformance mini-meshes actually
+    #: cross the parallel-dispatch threshold
+    conformance_options = {"nworkers": 2, "min_chunk": 16}
 
     def __init__(self, nworkers: Optional[int] = None,
                  strategy: str = "atomics", min_chunk: int = 512,

@@ -19,7 +19,32 @@ import numpy as np
 from ..core.args import Arg, ArgKind
 from ..core.loops import ParLoop
 
-__all__ = ["PlanCache"]
+__all__ = ["PlanCache", "loop_arg_rows"]
+
+
+def loop_arg_rows(loop, arg: Arg) -> Optional[np.ndarray]:
+    """Target-set rows touched by ``arg`` over a loop's iteration domain.
+
+    Shared by the descriptor sanitizer's static race analysis and by
+    backends wanting an up-front footprint.  Works for ``ParLoop`` and
+    ``MoveLoop`` alike (both expose ``iter_indices``); rows of dead
+    particles (``p2c < 0``) come back as ``-1`` so callers can mask
+    them.  Globals have no rows — returns ``None``.
+    """
+    if arg.is_global:
+        return None
+    idx = loop.iter_indices()
+    if arg.kind == ArgKind.DIRECT:
+        return idx
+    if arg.kind == ArgKind.INDIRECT:
+        return arg.map.values[idx, arg.map_idx]
+    cells = arg.p2c.p2c[idx]
+    if arg.kind == ArgKind.P2C:
+        return cells
+    rows = np.full(idx.shape, -1, dtype=np.int64)   # DOUBLE
+    alive = cells >= 0
+    rows[alive] = arg.map.values[cells[alive], arg.map_idx]
+    return rows
 
 
 class PlanCache:

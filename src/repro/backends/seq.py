@@ -22,6 +22,9 @@ __all__ = ["SeqBackend"]
 class SeqBackend(Backend):
     name = "seq"
 
+    #: the oracle itself needs no special conformance configuration
+    conformance_options: dict = {}
+
     def execute(self, loop: ParLoop) -> Optional[dict]:
         kernel = loop.kernel.fn
         args = loop.args

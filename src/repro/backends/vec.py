@@ -33,10 +33,16 @@ class VecBackend(Backend):
 
     name = "vec"
 
-    def __init__(self, strategy: str = "atomics", **strategy_options):
+    def __init__(self, strategy: str = "atomics",
+                 check_unique_writes: bool = False, **strategy_options):
         self.strategy_name = strategy
         self.strategy: ReductionStrategy = make_strategy(strategy,
                                                          **strategy_options)
+        #: debug mode: make the duplicate-row assertion of
+        #: :meth:`Backend.scatter` real — indirect WRITE/RW through a
+        #: non-injective mapping is last-writer-wins and backend-ordering
+        #: dependent, so fail loudly instead of racing silently
+        self.check_unique_writes = bool(check_unique_writes)
         #: OP2-style plan cache: static mesh-map indirection schedules
         self.plan = PlanCache()
         self._seq = SeqBackend()
@@ -57,7 +63,7 @@ class VecBackend(Backend):
         writeback: List[Tuple[Arg, np.ndarray, Optional[np.ndarray]]] = []
         n = idx.size
 
-        for a in loop.args:
+        for apos, a in enumerate(loop.args):
             if a.is_global:
                 if a.access is AccessMode.READ:
                     params.append(a.dat.data.reshape(1, -1))
@@ -74,6 +80,17 @@ class VecBackend(Backend):
                 params.append(a.dat.data)
                 continue
             rows = self.plan.rows(loop, a, idx)   # planned (static) or None
+            if (self.check_unique_writes and a.is_indirect
+                    and a.access in (AccessMode.WRITE, AccessMode.RW)):
+                r = rows if rows is not None else a.gather_indices(idx)
+                r = r[r >= 0]
+                if r.size and np.unique(r).size != r.size:
+                    raise RuntimeError(
+                        f"loop {loop.name!r}: nonunique-write on arg "
+                        f"{apos} (dat {a.dat.name!r}): duplicate indirect "
+                        f"{a.access.name} target rows race under vector "
+                        "execution (declare OPP_INC or make the mapping "
+                        "injective)")
             if a.access in (AccessMode.READ, AccessMode.RW):
                 buf = (a.dat.data[rows] if rows is not None
                        else self.gather(a, idx))

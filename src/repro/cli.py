@@ -67,6 +67,29 @@ def _build_parser() -> argparse.ArgumentParser:
     td.add_argument("--steps", type=int, default=None)
     td.add_argument("--quiet", action="store_true")
 
+    vf = sub.add_parser(
+        "verify", help="descriptor sanitizer / backend conformance")
+    vf.add_argument("--app", default=None,
+                    choices=["fempic", "cabana", "advec", "twod", "all"],
+                    help="run this app's smoke problem under the "
+                    "sanitizer backend and report descriptor violations")
+    vf.add_argument("--steps", type=int, default=None,
+                    help="override the app's smoke step count")
+    vf.add_argument("--conformance", action="store_true",
+                    help="run the differential backend-conformance sweep")
+    vf.add_argument("--cases", type=int, default=60, metavar="N",
+                    help="number of generated conformance cases")
+    vf.add_argument("--seed", type=int, default=0,
+                    help="base seed; case i uses seed+i")
+    vf.add_argument("--backends", nargs="+", default=None,
+                    metavar="NAME",
+                    help="backends to check against the seq oracle "
+                    "(default: vec omp mp)")
+    vf.add_argument("--no-shrink", action="store_true",
+                    help="report the first failing case without "
+                    "minimising it")
+    vf.add_argument("--quiet", action="store_true")
+
     ms = sub.add_parser("mesh", help="generate a duct mesh file")
     ms.add_argument("--nx", type=int, default=4)
     ms.add_argument("--ny", type=int, default=4)
@@ -192,6 +215,67 @@ def _run_twod(args) -> int:
     return 0
 
 
+def _verify_app(app: str, steps: Optional[int], quiet: bool) -> int:
+    """Run one app's smoke problem under the sanitizer backend."""
+    if app == "fempic":
+        from repro.apps.fempic import FemPicConfig, FemPicSimulation
+        cfg = FemPicConfig.smoke().scaled(backend="sanitizer")
+        if steps:
+            cfg = cfg.scaled(n_steps=steps)
+        sim = FemPicSimulation(cfg)
+    elif app == "cabana":
+        from repro.apps.cabana import CabanaConfig, CabanaSimulation
+        cfg = CabanaConfig.smoke().scaled(backend="sanitizer")
+        if steps:
+            cfg = cfg.scaled(n_steps=steps)
+        sim = CabanaSimulation(cfg)
+    elif app == "advec":
+        from repro.apps.advec import AdvecConfig, AdvecSimulation
+        cfg = AdvecConfig(nx=6, ny=6, ppc=2, n_steps=steps or 5,
+                          backend="sanitizer")
+        sim = AdvecSimulation(cfg)
+    else:
+        from repro.apps.twod import TwoDConfig, TwoDSheetModel
+        cfg = TwoDConfig(nx=4, ny=4, ppc=2, n_steps=steps or 5,
+                         backend="sanitizer")
+        sim = TwoDSheetModel(cfg)
+    sim.run()
+    backend = sim.ctx.backend
+    if not quiet or backend.violations:
+        print(f"{app}: {backend.report()}")
+    return 1 if backend.violations else 0
+
+
+def _run_verify(args) -> int:
+    if not args.app and not args.conformance:
+        print("error: verify needs --app and/or --conformance",
+              file=sys.stderr)
+        return 2
+    status = 0
+    if args.app:
+        apps = (["fempic", "cabana", "advec", "twod"]
+                if args.app == "all" else [args.app])
+        for app in apps:
+            status |= _verify_app(app, args.steps, args.quiet)
+    if args.conformance:
+        from repro.verify import ConformanceFailure, run_conformance
+        progress = None if args.quiet else print
+        try:
+            report = run_conformance(
+                n_cases=args.cases, seed=args.seed,
+                backends=tuple(args.backends) if args.backends else
+                ("vec", "omp", "mp"),
+                progress=progress, shrink=not args.no_shrink)
+        except ConformanceFailure as failure:
+            print(f"conformance FAILED:\n{failure}", file=sys.stderr)
+            return 1
+        if not args.quiet:
+            print(f"conformance: {report['cases']} cases x "
+                  f"{len(report['backends'])} backend(s) "
+                  f"({report['executions']} executions) all match seq")
+    return status
+
+
 def _run_mesh(args) -> int:
     from repro.mesh import duct_mesh, save_mesh
     mesh = duct_mesh(args.nx, args.ny, args.nz, args.lx, args.ly, args.lz)
@@ -210,6 +294,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_advec(args)
     if args.command == "twod":
         return _run_twod(args)
+    if args.command == "verify":
+        return _run_verify(args)
     return _run_mesh(args)
 
 

@@ -140,6 +140,18 @@ class Arg:
             return c
         return self.map.values[c, self.map_idx]  # DOUBLE
 
+    def describe(self, position: Optional[int] = None) -> str:
+        """Human-readable descriptor summary used in sanitizer reports,
+        e.g. ``"arg 2 (dat 'node_charge', double OPP_INC via c2n[0])"``."""
+        head = f"arg {position}" if position is not None else "arg"
+        via = ""
+        if self.map is not None:
+            via = f" via {self.map.name}[{self.map_idx}]"
+        if self.p2c is not None:
+            via += " o p2c"
+        return (f"{head} (dat {self.dat.name!r}, {self.kind} "
+                f"OPP_{self.access.name}{via})")
+
     def __repr__(self) -> str:
         return (f"<Arg {self.dat.name!r} {self.kind} {self.access.name}"
                 + (f" via {self.map.name}[{self.map_idx}]" if self.map else "")

@@ -66,6 +66,8 @@ class Kernel:
             raise TypeError("kernel must wrap a callable")
         self.fn = fn
         self.name = name or fn.__name__
+        self._signature = False   # lazily resolved; None = unresolvable
+        self._arity_ok: set = set()  # argument counts already validated
         self._source: Optional[str] = None
         self._ir = None          # filled by translator.parser on demand
         self._generated = {}     # backend-name -> compiled vector function
@@ -85,6 +87,33 @@ class Kernel:
     @property
     def param_names(self):
         return list(inspect.signature(self.fn).parameters)
+
+    def check_arity(self, n_args: int, loop_name: str = "") -> None:
+        """Check the elemental function can bind ``n_args`` positional
+        parameters (the declared loop arguments, plus the move context
+        for move kernels).  A mismatched declaration is exactly the sort
+        of descriptor drift the sanitizer exists to catch — failing at
+        declaration names the loop instead of dying inside the backend.
+        """
+        if n_args in self._arity_ok:
+            return
+        if self._signature is False:
+            try:
+                self._signature = inspect.signature(self.fn)
+            except (ValueError, TypeError):  # builtins / C callables
+                self._signature = None
+        sig = self._signature
+        if sig is None:
+            return
+        try:
+            sig.bind(*([None] * n_args))
+        except TypeError:
+            where = f" in loop {loop_name!r}" if loop_name else ""
+            raise TypeError(
+                f"kernel {self.name!r}{where} takes parameters "
+                f"({', '.join(sig.parameters)}) but {n_args} argument(s) "
+                "were declared") from None
+        self._arity_ok.add(n_args)
 
     def ir(self):
         """Parse (once) and return the translator IR for this kernel."""

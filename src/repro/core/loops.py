@@ -9,7 +9,7 @@ counters used by the roofline/breakdown benchmarks.
 from __future__ import annotations
 
 import time
-from typing import List, Sequence
+from typing import Callable, List, Sequence
 
 import numpy as np
 
@@ -19,7 +19,46 @@ from .kernel import Kernel, as_kernel
 from .sets import ParticleSet, Set
 from .types import AccessMode, IterateType
 
-__all__ = ["ParLoop", "par_loop"]
+__all__ = ["ParLoop", "par_loop", "add_loop_hook", "remove_loop_hook",
+           "active_loop_hooks"]
+
+
+# -- loop hooks ----------------------------------------------------------------
+#
+# A hook is called with every declared loop (ParLoop and MoveLoop alike)
+# just before the backend executes it.  This is the seam the descriptor
+# sanitizer uses for per-loop static race analysis; the default path pays
+# a single empty-list truthiness test.
+
+_LOOP_HOOKS: List[Callable] = []
+
+
+def add_loop_hook(hook: Callable) -> Callable:
+    """Register ``hook(loop)`` to run before every loop execution."""
+    if not callable(hook):
+        raise TypeError("loop hook must be callable")
+    _LOOP_HOOKS.append(hook)
+    return hook
+
+
+def remove_loop_hook(hook: Callable) -> None:
+    """Unregister a hook previously added with :func:`add_loop_hook`."""
+    try:
+        _LOOP_HOOKS.remove(hook)
+    except ValueError:
+        pass
+
+
+def active_loop_hooks() -> int:
+    """Number of installed loop hooks (0 on the default path)."""
+    return len(_LOOP_HOOKS)
+
+
+def run_loop_hooks(loop) -> None:
+    """Invoke every registered hook on a declared loop."""
+    if _LOOP_HOOKS:
+        for hook in tuple(_LOOP_HOOKS):
+            hook(loop)
 
 
 class ParLoop:
@@ -38,6 +77,7 @@ class ParLoop:
                             "sets")
         for a in self.args:
             a.validate_against(iterset)
+        self.kernel.check_arity(len(self.args), loop_name=name)
 
     # -- iteration domain ------------------------------------------------------
 
@@ -126,6 +166,7 @@ def par_loop(kernel, name: str, iterset: Set, iterate_type: IterateType,
     concerns.
     """
     loop = ParLoop(kernel, name, iterset, iterate_type, args)
+    run_loop_hooks(loop)
     ctx = get_context()
     t0 = time.perf_counter()
     extras = ctx.backend.execute(loop) or {}

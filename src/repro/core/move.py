@@ -137,6 +137,8 @@ class MoveLoop:
                 raise ValueError("global reductions inside a move kernel "
                                  "are not supported; reduce in a separate "
                                  "opp_par_loop after the move")
+        # +1: the elemental move kernel receives the MoveContext first
+        self.kernel.check_arity(len(self.args) + 1, loop_name=name)
 
     def iter_indices(self) -> np.ndarray:
         if self.only_indices is not None:
@@ -169,6 +171,8 @@ def particle_move(kernel, name: str, pset: ParticleSet, c2c_map: Map,
     """
     loop = MoveLoop(kernel, name, pset, c2c_map, p2c_map, args,
                     max_hops=max_hops)
+    from .loops import run_loop_hooks
+    run_loop_hooks(loop)
     ctx = get_context()
     t0 = time.perf_counter()
     result = ctx.backend.execute_move(loop)

@@ -1,0 +1,91 @@
+"""Elemental kernels used by the differential conformance harness.
+
+These live at module level (not closures) so the ``mp`` backend can ship
+them to worker processes by ``(module, qualname)`` reference, and each
+sticks to translator-supported constructs so the generated-code backends
+exercise their real vectorised paths rather than the seq fallback.
+
+Every kernel here is *correctly* declared — the conformance harness
+checks that all backends agree on clean programs.  Deliberately
+mis-declared kernels for sanitizer tests live in the test suite, not
+here.
+"""
+from __future__ import annotations
+
+__all__ = [
+    "k_direct_axpy", "k_direct_write", "k_direct_inc", "k_mesh_gather",
+    "k_mesh_inc", "k_p2c_gather", "k_p2c_inc", "k_double_deposit",
+    "k_gbl_reduce", "k_walk",
+]
+
+
+def k_direct_axpy(w, out):
+    """Direct RW: classic read-modify-write on particle data."""
+    out[0] = out[0] + 2.5 * w[0]
+    out[1] = out[1] - w[1]
+
+
+def k_direct_write(w, out):
+    """Direct WRITE: every component overwritten, none read."""
+    out[0] = 2.0 * w[0] - 1.0
+    out[1] = w[0] + w[1]
+
+
+def k_direct_inc(w, g, out):
+    """Direct INC scaled by a READ global."""
+    out[0] += g[0] * w[0]
+    out[1] += g[0] - w[1]
+
+
+def k_mesh_gather(acc, na, nb):
+    """Indirect READ through a mesh map feeding a direct RW."""
+    acc[0] = acc[0] + 0.5 * na[0] + 0.25 * na[1] - nb[0]
+
+
+def k_mesh_inc(src, na):
+    """Indirect INC through a mesh map (mesh-loop deposition)."""
+    na[0] += 0.25 * src[0]
+    na[1] += -0.125 * src[0]
+
+
+def k_p2c_gather(c, out):
+    """Particle-indirect READ: gather from the particle's cell."""
+    out[0] = out[0] + 0.1 * c[0]
+    out[1] = out[1] * 0.5 + c[0]
+
+
+def k_p2c_inc(w, acc):
+    """Particle-indirect INC: scatter-add into the particle's cell."""
+    acc[0] += w[0] * w[1]
+
+
+def k_double_deposit(w, na, nb):
+    """Double-indirect INC — the charge-deposition pattern."""
+    na[0] += w[0]
+    na[1] += 0.5 * w[0]
+    nb[0] += w[1]
+
+
+def k_gbl_reduce(w, s, mn, mx):
+    """Global INC + MIN + MAX reductions in one loop."""
+    s[0] += w[0]
+    mn[0] = min(mn[0], w[0])
+    mx[0] = max(mx[0], w[1])
+
+
+def k_walk(move, p, hits):
+    """1-D multi-hop walk with per-hop integer deposition and removal.
+
+    Cell ``i`` spans ``[i, i+1)``; a particle walks left/right until its
+    position is inside the current cell, incrementing each visited
+    cell's hit counter, and is removed when it walks off either end
+    (the chain c2c map has ``-1`` beyond the boundary cells).
+    """
+    hits[0] += 1
+    lo = move.cell * 1.0
+    if p[0] < lo:
+        move.move_to(move.c2c[0])
+    elif p[0] >= lo + 1.0:
+        move.move_to(move.c2c[1])
+    else:
+        move.done()

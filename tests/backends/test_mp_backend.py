@@ -271,3 +271,41 @@ def test_kernel_pickles_by_reference():
         def nested(x):
             x[0] = 0.0
         pickle.dumps(Kernel(nested))
+
+
+# -- arena scatter cache vs CPython id reuse ---------------------------------
+
+
+def test_arena_scatter_survives_id_reuse_with_different_shape():
+    """Scatter segments are keyed by (id(dat), worker); CPython reuses
+    object ids, so a key hit can be a different dat whose component
+    count differs — the arena must recreate, never hand back a segment
+    of the wrong shape (this surfaced as a nondeterministic np.add.at
+    broadcast failure in the conformance sweep)."""
+    from repro.backends.mp import _Arena, _shared_memory
+
+    if _shared_memory() is None:
+        pytest.skip("platform lacks shared memory")
+
+    class FakeDat:
+        def __init__(self, shape):
+            self.raw = np.zeros(shape, dtype=np.float64)
+
+    arena = _Arena()
+    try:
+        wide = FakeDat((8, 2))
+        spec = arena.scatter(wide, 0)
+        assert tuple(spec[1]) == (8, 2)
+        # simulate id reuse: a narrower dat lands on the same cache key
+        narrow = FakeDat((8, 1))
+        arena._scatter[(id(narrow), 0)] = \
+            arena._scatter.pop((id(wide), 0))
+        spec2 = arena.scatter(narrow, 0)
+        assert tuple(spec2[1]) == (8, 1)
+        # growth still reuses-by-recreate, larger capacity wins
+        grown = FakeDat((16, 1))
+        arena._scatter[(id(grown), 0)] = \
+            arena._scatter.pop((id(narrow), 0))
+        assert tuple(arena.scatter(grown, 0)[1]) == (16, 1)
+    finally:
+        arena.close()

@@ -3,8 +3,17 @@
 Kernel constants (``CONST``) are process-global (mirroring
 ``opp_decl_const``); tests that declare constants must not leak into each
 other, so every test runs against a snapshot-restored registry.
+
+Randomness policy: the legacy ``np.random`` global state is seeded
+per-test from the test's node id, so any test that (directly or through
+library code) touches the global RNG is reproducible in isolation and
+independent of execution order.  The seed is echoed in the failure
+report, and conformance failures additionally surface their shrunk
+minimal case there.
 """
 from __future__ import annotations
+
+import zlib
 
 import numpy as np
 import pytest
@@ -21,6 +30,17 @@ def _isolate_constants():
         CONST.declare(k, v)
 
 
+def _seed_for(nodeid: str) -> int:
+    return zlib.crc32(nodeid.encode())
+
+
+@pytest.fixture(autouse=True)
+def _seed_global_rng(request):
+    seed = _seed_for(request.node.nodeid)
+    np.random.seed(seed)
+    yield
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)
@@ -29,6 +49,10 @@ def rng():
 def pytest_addoption(parser):
     parser.addoption("--slow", action="store_true", default=False,
                      help="run slow tests")
+    parser.addoption("--conformance-cases", action="store", default=25,
+                     type=int,
+                     help="randomized cases per backend in the "
+                          "differential conformance sweep")
 
 
 def pytest_collection_modifyitems(config, items):
@@ -42,3 +66,23 @@ def pytest_collection_modifyitems(config, items):
 
 def pytest_configure(config):
     config.addinivalue_line("markers", "slow: long-running test")
+    config.addinivalue_line(
+        "markers",
+        "conformance: differential backend-conformance suite "
+        "(run alone with -m conformance)")
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when != "call" or not report.failed:
+        return
+    report.sections.append(
+        ("rng", f"np.random seeded with {_seed_for(item.nodeid)} "
+                f"(crc32 of {item.nodeid!r})"))
+    exc = getattr(call.excinfo, "value", None)
+    shrunk = getattr(exc, "shrunk", None)
+    if shrunk is not None:
+        report.sections.append(
+            ("conformance shrunk case", shrunk.signature()))

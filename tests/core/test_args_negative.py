@@ -1,0 +1,147 @@
+"""Negative paths of the argument-descriptor layer.
+
+Every ValueError / TypeError branch in :mod:`repro.core.args` not already
+covered by ``test_args.py`` gets an explicit test here — descriptor
+mistakes must fail at declaration time with a message naming the
+offender, never surface as silent corruption inside a backend.
+"""
+import numpy as np
+import pytest
+
+from repro.core.api import (OPP_INC, OPP_READ, OPP_RW, OPP_WRITE, arg_dat,
+                            decl_dat, decl_global, decl_map,
+                            decl_particle_set, decl_set)
+from repro.core.args import Arg
+
+
+@pytest.fixture
+def world():
+    cells = decl_set(3, "cells")
+    nodes = decl_set(5, "nodes")
+    faces = decl_set(4, "faces")
+    parts = decl_particle_set(cells, 4, "parts")
+    other_parts = decl_particle_set(cells, 2, "other_parts")
+    c2n = decl_map(cells, nodes, 2, [[0, 1], [1, 2], [3, 4]], "c2n")
+    f2n = decl_map(faces, nodes, 2, [[0, 1], [1, 2], [2, 3], [3, 4]],
+                   "f2n")
+    p2c = decl_map(parts, cells, 1, [[0], [1], [1], [2]], "p2c")
+    op2c = decl_map(other_parts, cells, 1, [[0], [1]], "op2c")
+    cdat = decl_dat(cells, 1, np.float64, [1.0, 2.0, 3.0], "cdat")
+    ndat = decl_dat(nodes, 1, np.float64, np.arange(5.0), "ndat")
+    fdat = decl_dat(faces, 1, np.float64, np.arange(4.0), "fdat")
+    pdat = decl_dat(parts, 1, np.float64, np.arange(4.0), "pdat")
+    g = decl_global(1, np.float64, None, "g")
+    return locals()
+
+
+# -- Arg.__init__ --------------------------------------------------------------
+
+
+def test_access_must_be_access_mode(world):
+    with pytest.raises(TypeError, match="AccessMode"):
+        Arg(world["cdat"], "read")
+    with pytest.raises(TypeError, match="AccessMode"):
+        Arg(world["ndat"], 3, map_=world["c2n"], map_idx=0)
+
+
+def test_global_rejects_any_mapping(world):
+    with pytest.raises(ValueError, match="no mapping"):
+        Arg(world["g"], OPP_READ, map_=world["c2n"], map_idx=0)
+    with pytest.raises(ValueError, match="no mapping"):
+        Arg(world["g"], OPP_READ, p2c=world["p2c"])
+
+
+def test_global_rejects_write_modes(world):
+    # OPP_WRITE / OPP_RW on a global cannot be given race-free meaning
+    with pytest.raises(ValueError, match="READ/INC/MIN/MAX"):
+        Arg(world["g"], OPP_WRITE)
+    with pytest.raises(ValueError, match="READ/INC/MIN/MAX"):
+        Arg(world["g"], OPP_RW)
+
+
+def test_mesh_map_requires_component_index(world):
+    with pytest.raises(ValueError, match="component index"):
+        Arg(world["ndat"], OPP_READ, map_=world["c2n"])
+
+
+def test_mesh_map_index_bounds(world):
+    with pytest.raises(IndexError, match="out of range"):
+        Arg(world["ndat"], OPP_READ, map_=world["c2n"], map_idx=5)
+    with pytest.raises(IndexError, match="out of range"):
+        Arg(world["ndat"], OPP_READ, map_=world["c2n"], map_idx=-1)
+
+
+def test_particle_map_rejected_as_mesh_map_via_arg(world):
+    with pytest.raises(ValueError, match="p2c"):
+        Arg(world["cdat"], OPP_READ, map_=world["p2c"], map_idx=0)
+
+
+# -- arg_dat form parsing ------------------------------------------------------
+
+
+def test_arg_dat_last_argument_not_access_mode(world):
+    with pytest.raises(TypeError, match="access mode"):
+        arg_dat(world["ndat"], 0, world["c2n"], world["p2c"])
+
+
+def test_arg_dat_single_map_form_needs_particle_map(world):
+    with pytest.raises(TypeError, match="particle-to-cell"):
+        arg_dat(world["cdat"], world["c2n"], OPP_READ)   # mesh map
+    with pytest.raises(TypeError, match="particle-to-cell"):
+        arg_dat(world["cdat"], 0, OPP_READ)              # not a map at all
+
+
+def test_arg_dat_too_many_arguments(world):
+    with pytest.raises(TypeError, match="unsupported argument form"):
+        arg_dat(world["ndat"], 0, world["c2n"], world["p2c"], None,
+                OPP_READ)
+
+
+# -- validate_against ----------------------------------------------------------
+
+
+def test_indirect_map_must_land_on_dat_set(world):
+    a = arg_dat(world["fdat"], 0, world["c2n"], OPP_READ)
+    with pytest.raises(ValueError, match="does not land on"):
+        a.validate_against(world["cells"])
+
+
+def test_p2c_map_must_start_at_iterset(world):
+    a = arg_dat(world["cdat"], world["op2c"], OPP_READ)
+    with pytest.raises(ValueError, match="must start at the particle"):
+        a.validate_against(world["parts"])
+
+
+def test_p2c_dat_must_live_on_cell_set(world):
+    a = arg_dat(world["ndat"], world["p2c"], OPP_READ)
+    with pytest.raises(ValueError, match="cell set"):
+        a.validate_against(world["parts"])
+
+
+def test_double_p2c_must_start_at_iterset(world):
+    a = arg_dat(world["ndat"], 0, world["c2n"], world["op2c"], OPP_INC)
+    with pytest.raises(ValueError, match="must start at the particle"):
+        a.validate_against(world["parts"])
+
+
+def test_double_mesh_map_must_start_at_cells(world):
+    a = arg_dat(world["ndat"], 0, world["f2n"], world["p2c"], OPP_INC)
+    with pytest.raises(ValueError, match="must start at the cell set"):
+        a.validate_against(world["parts"])
+
+
+def test_double_mesh_map_must_land_on_dat_set(world):
+    a = arg_dat(world["fdat"], 0, world["c2n"], world["p2c"], OPP_INC)
+    with pytest.raises(ValueError, match="does not land on"):
+        a.validate_against(world["parts"])
+
+
+# -- describe() (the string sanitizer reports lean on) -------------------------
+
+
+def test_describe_names_every_addressing_layer(world):
+    d = arg_dat(world["ndat"], 0, world["c2n"], world["p2c"],
+                OPP_INC).describe(2)
+    assert "arg 2" in d and "'ndat'" in d
+    assert "c2n[0]" in d and "o p2c" in d and "OPP_INC" in d
+    assert arg_dat(world["pdat"], OPP_READ).describe().startswith("arg (")

@@ -1,0 +1,478 @@
+"""Access-descriptor sanitizer: shadow execution + static race analysis.
+
+Every violation kind has a deliberately mis-declared kernel here, and the
+clean paths are checked to be bit-identical to the sequential oracle —
+the sanitizer must never flag (or perturb) a correctly declared loop.
+"""
+import numpy as np
+import pytest
+
+from repro.core.api import (OPP_INC, OPP_ITERATE_ALL, OPP_MAX, OPP_MIN,
+                            OPP_READ, OPP_RW, OPP_WRITE, Context, arg_dat,
+                            arg_gbl, decl_dat, decl_global, decl_map,
+                            decl_particle_set, decl_set, par_loop,
+                            particle_move, push_context)
+from repro.core.loops import active_loop_hooks
+from repro.verify import (DescriptorViolationError, RecordingView,
+                          SanitizerBackend, install_static_checker,
+                          static_violations, uninstall_static_checker)
+from repro.verify.sanitize import (ALIASING_RACE, NON_ADDITIVE_INC,
+                                   NON_MONOTONIC_GLOBAL, NONUNIQUE_WRITE,
+                                   PARTIAL_WRITE, READ_BEFORE_WRITE,
+                                   WRITE_TO_READ)
+
+
+def make_world(n_cells=6, n_nodes=5, n_parts=20, seed=7):
+    rng = np.random.default_rng(seed)
+    cells = decl_set(n_cells, "cells")
+    nodes = decl_set(n_nodes, "nodes")
+    parts = decl_particle_set(cells, n_parts, "parts")
+    c2n = decl_map(cells, nodes, 2,
+                   rng.integers(0, n_nodes, size=(n_cells, 2)), "c2n")
+    chain = [[i - 1 if i > 0 else -1,
+              i + 1 if i + 1 < n_cells else -1] for i in range(n_cells)]
+    c2c = decl_map(cells, cells, 2, chain, "c2c")
+    p2c = decl_map(parts, cells, 1,
+                   rng.integers(0, n_cells, size=(n_parts, 1)), "p2c")
+    return {
+        "cells": cells, "nodes": nodes, "parts": parts,
+        "c2n": c2n, "c2c": c2c, "p2c": p2c,
+        "cell_q": decl_dat(cells, 1, np.float64, None, "cell_q"),
+        "node_q": decl_dat(nodes, 2, np.float64, None, "node_q"),
+        "w": decl_dat(parts, 2, np.float64,
+                      rng.normal(size=(n_parts, 2)), "w"),
+        "out": decl_dat(parts, 2, np.float64,
+                        np.ones((n_parts, 2)), "out"),
+        "pos": decl_dat(parts, 1, np.float64,
+                        rng.uniform(0.0, n_cells, size=n_parts), "pos"),
+    }
+
+
+def sanitizer_ctx(**opts):
+    return Context("sanitizer", **opts)
+
+
+def kinds(backend):
+    return {v.kind for v in backend.violations}
+
+
+# -- clean loops: no violations, oracle-identical results ----------------------
+
+
+def deposit_kernel(w, cq, nq):
+    cq[0] += w[0]
+    nq[0] += 0.5 * w[0]
+    nq[1] += w[1]
+
+
+def run_deposit(backend_name):
+    ctx = Context(backend_name)
+    with push_context(ctx):
+        w = make_world()
+        par_loop(deposit_kernel, "deposit", w["parts"], OPP_ITERATE_ALL,
+                 arg_dat(w["w"], OPP_READ),
+                 arg_dat(w["cell_q"], w["p2c"], OPP_INC),
+                 arg_dat(w["node_q"], 0, w["c2n"], w["p2c"], OPP_INC))
+        return w["cell_q"].data.copy(), w["node_q"].data.copy(), ctx
+
+
+def test_clean_deposit_matches_seq_bitwise():
+    cq_seq, nq_seq, _ = run_deposit("seq")
+    cq_san, nq_san, ctx = run_deposit("sanitizer")
+    assert np.array_equal(cq_seq, cq_san)
+    assert np.array_equal(nq_seq, nq_san)
+    assert ctx.backend.violations == []
+    assert ctx.backend.loops_checked == 1
+    assert ctx.backend.elements_checked == 20
+
+
+def test_clean_global_reductions_pass():
+    def reduce_k(w, s, mn, mx):
+        s[0] += w[0]
+        mn[0] = min(mn[0], w[0])
+        mx[0] = max(mx[0], w[0])
+
+    with push_context(sanitizer_ctx()) as ctx:
+        w = make_world()
+        s = decl_global(1, np.float64, None, "s")
+        mn = decl_global(1, np.float64, [np.inf], "mn")
+        mx = decl_global(1, np.float64, [-np.inf], "mx")
+        par_loop(reduce_k, "reduce", w["parts"], OPP_ITERATE_ALL,
+                 arg_dat(w["w"], OPP_READ), arg_gbl(s, OPP_INC),
+                 arg_gbl(mn, OPP_MIN), arg_gbl(mx, OPP_MAX))
+        assert ctx.backend.violations == []
+        assert np.isclose(s.data[0], w["w"].data[:, 0].sum())
+        assert np.isclose(mn.data[0], w["w"].data[:, 0].min())
+        assert np.isclose(mx.data[0], w["w"].data[:, 0].max())
+
+
+# -- each violation kind -------------------------------------------------------
+
+
+def test_write_to_read_caught():
+    def bad(w, out):
+        w[0] = 0.0          # mutates a READ arg
+        out[0] = w[1]
+        out[1] = w[1]
+
+    with push_context(sanitizer_ctx()) as ctx:
+        w = make_world()
+        before = w["w"].data.copy()
+        par_loop(bad, "bad_read", w["parts"], OPP_ITERATE_ALL,
+                 arg_dat(w["w"], OPP_READ), arg_dat(w["out"], OPP_WRITE))
+        assert kinds(ctx.backend) == {WRITE_TO_READ}
+        v = ctx.backend.violations[0]
+        assert (v.loop_name, v.arg_index, v.kind) == ("bad_read", 0,
+                                                      WRITE_TO_READ)
+        assert "bad_read" in str(v) and "arg 0" in str(v)
+        # the proxy contains the undeclared write: data is untouched
+        assert np.array_equal(w["w"].data, before)
+
+
+def test_read_before_write_caught():
+    def bad(w, out):
+        out[0] = out[0] + w[0]   # consumes prior value under WRITE
+        out[1] = w[1]
+
+    with push_context(sanitizer_ctx()) as ctx:
+        w = make_world()
+        par_loop(bad, "bad_write", w["parts"], OPP_ITERATE_ALL,
+                 arg_dat(w["w"], OPP_READ), arg_dat(w["out"], OPP_WRITE))
+        assert kinds(ctx.backend) == {READ_BEFORE_WRITE}
+        assert ctx.backend.violations[0].arg_index == 1
+
+
+def test_partial_write_caught():
+    def bad(w, out):
+        out[0] = w[0]            # out[1] left stale
+
+    with push_context(sanitizer_ctx()) as ctx:
+        w = make_world()
+        par_loop(bad, "bad_partial", w["parts"], OPP_ITERATE_ALL,
+                 arg_dat(w["w"], OPP_READ), arg_dat(w["out"], OPP_WRITE))
+        assert kinds(ctx.backend) == {PARTIAL_WRITE}
+        assert "[1]" in ctx.backend.violations[0].detail
+
+
+def test_non_additive_inc_caught():
+    def bad(w, cq):
+        cq[0] = w[0]             # overwrite declared as INC
+
+    with push_context(sanitizer_ctx()) as ctx:
+        w = make_world()
+        par_loop(bad, "bad_inc", w["parts"], OPP_ITERATE_ALL,
+                 arg_dat(w["w"], OPP_READ),
+                 arg_dat(w["cell_q"], w["p2c"], OPP_INC))
+        assert NON_ADDITIVE_INC in kinds(ctx.backend)
+        v = next(x for x in ctx.backend.violations
+                 if x.kind == NON_ADDITIVE_INC)
+        assert v.loop_name == "bad_inc" and v.arg_index == 1
+        assert "cell_q" in v.descriptor
+
+
+def test_scaling_inc_caught():
+    def bad(w, cq):
+        cq[0] += w[0]
+        cq[0] = cq[0] * 2.0      # scales the accumulator: not additive
+
+    with push_context(sanitizer_ctx()) as ctx:
+        w = make_world()
+        par_loop(bad, "bad_scale", w["parts"], OPP_ITERATE_ALL,
+                 arg_dat(w["w"], OPP_READ),
+                 arg_dat(w["cell_q"], w["p2c"], OPP_INC))
+        assert NON_ADDITIVE_INC in kinds(ctx.backend)
+
+
+def test_non_monotonic_global_caught():
+    def bad(w, mx):
+        mx[0] = w[0]             # may lower a MAX reduction
+
+    with push_context(sanitizer_ctx()) as ctx:
+        w = make_world()
+        mx = decl_global(1, np.float64, [np.inf], "mx")
+        par_loop(bad, "bad_max", w["parts"], OPP_ITERATE_ALL,
+                 arg_dat(w["w"], OPP_READ), arg_gbl(mx, OPP_MAX))
+        assert kinds(ctx.backend) == {NON_MONOTONIC_GLOBAL}
+
+
+def test_violations_deduplicated_with_count():
+    def bad(w, out):
+        out[0] = w[0]
+
+    with push_context(sanitizer_ctx()) as ctx:
+        w = make_world(n_parts=20)
+        par_loop(bad, "bad_partial", w["parts"], OPP_ITERATE_ALL,
+                 arg_dat(w["w"], OPP_READ), arg_dat(w["out"], OPP_WRITE))
+        assert len(ctx.backend.violations) == 1    # one per loop/arg/kind
+        assert ctx.backend.violations[0].count == 20
+        assert "[x20]" in str(ctx.backend.violations[0])
+
+
+def test_raise_mode_and_clear():
+    def bad(w, out):
+        out[0] = w[0]
+
+    with push_context(sanitizer_ctx(on_violation="raise")) as ctx:
+        w = make_world()
+        with pytest.raises(DescriptorViolationError) as exc:
+            par_loop(bad, "bad_partial", w["parts"], OPP_ITERATE_ALL,
+                     arg_dat(w["w"], OPP_READ),
+                     arg_dat(w["out"], OPP_WRITE))
+        assert exc.value.violation.kind == PARTIAL_WRITE
+        ctx.backend.clear()
+        assert ctx.backend.violations == []
+    with pytest.raises(ValueError):
+        SanitizerBackend(on_violation="bogus")
+
+
+def test_report_summarises():
+    b = SanitizerBackend()
+    assert "0 violation(s)" in b.report()
+
+
+# -- static race analysis ------------------------------------------------------
+
+
+def test_nonunique_write_flagged_statically():
+    def k(src, nq):
+        nq[0] = src[0]
+        nq[1] = src[0]
+
+    with push_context(sanitizer_ctx()) as ctx:
+        w = make_world()   # random c2n has duplicate targets for 6 cells
+        par_loop(k, "dup_write", w["cells"], OPP_ITERATE_ALL,
+                 arg_dat(w["cell_q"], OPP_READ),
+                 arg_dat(w["node_q"], 0, w["c2n"], OPP_WRITE))
+        assert NONUNIQUE_WRITE in kinds(ctx.backend)
+
+
+def test_aliasing_race_flagged_statically():
+    def k(a, b):
+        b[0] += a[0]
+        b[1] += a[1]
+
+    with push_context(sanitizer_ctx()) as ctx:
+        w = make_world()
+        # same dat reached READ via component 0 and INC via component 1:
+        # overlapping rows with conflicting modes
+        par_loop(k, "alias", w["cells"], OPP_ITERATE_ALL,
+                 arg_dat(w["node_q"], 0, w["c2n"], OPP_READ),
+                 arg_dat(w["node_q"], 1, w["c2n"], OPP_INC))
+        assert ALIASING_RACE in kinds(ctx.backend)
+
+
+def test_inc_inc_aliasing_is_legal():
+    # fempic deposits through all tet corners of the same dat: INC+INC
+    # on overlapping rows must NOT be flagged
+    def k(src, a, b):
+        a[0] += src[0]
+        b[0] += src[0]
+
+    with push_context(sanitizer_ctx()) as ctx:
+        w = make_world()
+        par_loop(k, "inc_inc", w["cells"], OPP_ITERATE_ALL,
+                 arg_dat(w["cell_q"], OPP_READ),
+                 arg_dat(w["node_q"], 0, w["c2n"], OPP_INC),
+                 arg_dat(w["node_q"], 1, w["c2n"], OPP_INC))
+        assert ALIASING_RACE not in kinds(ctx.backend)
+
+
+def test_static_checker_hook_works_on_any_backend():
+    def k(src, nq):
+        nq[0] = src[0]
+        nq[1] = src[0]
+
+    assert active_loop_hooks() == 0
+    hook = install_static_checker(on_violation="collect")
+    try:
+        assert active_loop_hooks() == 1
+        with push_context(Context("seq")):
+            w = make_world()
+            par_loop(k, "dup_write", w["cells"], OPP_ITERATE_ALL,
+                     arg_dat(w["cell_q"], OPP_READ),
+                     arg_dat(w["node_q"], 0, w["c2n"], OPP_WRITE))
+        assert {v.kind for v in hook.violations} == {NONUNIQUE_WRITE}
+    finally:
+        uninstall_static_checker(hook)
+    assert active_loop_hooks() == 0
+
+
+def test_static_checker_raise_mode():
+    def k(src, nq):
+        nq[0] = src[0]
+        nq[1] = src[0]
+
+    hook = install_static_checker(on_violation="raise")
+    try:
+        with push_context(Context("seq")):
+            w = make_world()
+            with pytest.raises(DescriptorViolationError):
+                par_loop(k, "dup_write", w["cells"], OPP_ITERATE_ALL,
+                         arg_dat(w["cell_q"], OPP_READ),
+                         arg_dat(w["node_q"], 0, w["c2n"], OPP_WRITE))
+    finally:
+        uninstall_static_checker(hook)
+
+
+def test_static_violations_callable_directly():
+    from repro.core.loops import ParLoop
+    with push_context(Context("seq")):
+        w = make_world()
+        loop = ParLoop(deposit_kernel, "deposit", w["parts"],
+                       OPP_ITERATE_ALL,
+                       [arg_dat(w["w"], OPP_READ),
+                        arg_dat(w["cell_q"], w["p2c"], OPP_INC),
+                        arg_dat(w["node_q"], 0, w["c2n"], w["p2c"],
+                                OPP_INC)])
+        assert static_violations(loop) == []
+
+
+# -- recording proxy -----------------------------------------------------------
+
+
+def test_recording_view_tracks_components():
+    v = RecordingView(np.arange(4.0))
+    _ = v[0]
+    v[1] = 9.0
+    _ = v[1]          # read after write: not fresh
+    _ = v[-1]         # negative index normalised
+    assert v.reads == {0, 1, 3}
+    assert v.writes == {1}
+    assert v.fresh_reads == {0, 3}
+    assert len(v) == 4
+    assert list(v)[1] == 9.0
+
+
+def test_recording_view_slices():
+    v = RecordingView(np.zeros(4))
+    v[1:3] = 5.0
+    assert v.writes == {1, 2}
+    _ = v[:]
+    assert v.fresh_reads == {0, 3}
+
+
+# -- move loops ----------------------------------------------------------------
+
+
+def walk_done_write(move, pos, lc):
+    lo = move.cell * 1.0
+    if pos[0] < lo:
+        move.move_to(move.c2c[0])
+    elif pos[0] >= lo + 1.0:
+        move.move_to(move.c2c[1])
+    else:
+        lc[0] = pos[0] - lo      # written only on the final hop
+        lc[1] = lo
+        move.done()
+
+
+def test_move_write_on_done_hop_is_clean():
+    with push_context(sanitizer_ctx()) as ctx:
+        w = make_world()
+        lc = decl_dat(w["parts"], 2, np.float64, None, "lc")
+        res = particle_move(walk_done_write, "walk", w["parts"],
+                            w["c2c"], w["p2c"],
+                            arg_dat(w["pos"], OPP_READ),
+                            arg_dat(lc, OPP_WRITE))
+        assert ctx.backend.violations == []
+        assert res.extras == {"sanitized": True}
+        # every surviving particle landed in its containing cell
+        n = w["parts"].size
+        cells = w["p2c"].p2c[:n]
+        pos = w["pos"].data[:n, 0]
+        assert np.all((pos >= cells) & (pos < cells + 1))
+
+
+def test_move_matches_seq_result():
+    def run(backend_name):
+        with push_context(Context(backend_name)):
+            w = make_world(seed=11)
+            lc = decl_dat(w["parts"], 2, np.float64, None, "lc")
+            res = particle_move(walk_done_write, "walk", w["parts"],
+                                w["c2c"], w["p2c"],
+                                arg_dat(w["pos"], OPP_READ),
+                                arg_dat(lc, OPP_WRITE))
+            n = w["parts"].size
+            return (res.total_hops, res.n_removed,
+                    w["p2c"].p2c[:n].copy(), lc.data[:n].copy())
+
+    seq = run("seq")
+    san = run("sanitizer")
+    assert seq[0] == san[0] and seq[1] == san[1]
+    assert np.array_equal(seq[2], san[2])
+    assert np.array_equal(seq[3], san[3])
+
+
+def test_move_read_mutation_caught():
+    def bad(move, pos, lc):
+        pos[0] = 0.5             # mutates READ position mid-walk
+        lc[0] = 1.0
+        lc[1] = 2.0
+        move.done()
+
+    with push_context(sanitizer_ctx()) as ctx:
+        w = make_world()
+        lc = decl_dat(w["parts"], 2, np.float64, None, "lc")
+        particle_move(bad, "bad_walk", w["parts"], w["c2c"], w["p2c"],
+                      arg_dat(w["pos"], OPP_READ), arg_dat(lc, OPP_WRITE))
+        assert WRITE_TO_READ in kinds(ctx.backend)
+        v = next(x for x in ctx.backend.violations
+                 if x.kind == WRITE_TO_READ)
+        assert v.loop_name == "bad_walk" and v.arg_index == 0
+
+
+def test_move_partial_write_over_walk_caught():
+    def bad(move, pos, lc):
+        lc[0] = pos[0]           # lc[1] never written on any hop
+        move.done()
+
+    with push_context(sanitizer_ctx()) as ctx:
+        w = make_world()
+        lc = decl_dat(w["parts"], 2, np.float64, None, "lc")
+        particle_move(bad, "bad_walk", w["parts"], w["c2c"], w["p2c"],
+                      arg_dat(w["pos"], OPP_READ), arg_dat(lc, OPP_WRITE))
+        assert PARTIAL_WRITE in kinds(ctx.backend)
+
+
+def test_move_inc_additivity_checked():
+    def bad(move, pos, hits):
+        hits[0] = 1              # overwrite declared INC
+        move.done()
+
+    with push_context(sanitizer_ctx()) as ctx:
+        w = make_world()
+        hits = decl_dat(w["cells"], 1, np.int64, None, "hits")
+        particle_move(bad, "bad_hits", w["parts"], w["c2c"], w["p2c"],
+                      arg_dat(w["pos"], OPP_READ),
+                      arg_dat(hits, w["p2c"], OPP_INC))
+        assert NON_ADDITIVE_INC in kinds(ctx.backend)
+
+
+# -- vec backend's opt-in unique-write check -----------------------------------
+
+
+def test_vec_check_unique_writes_opt_in():
+    def k(src, nq):
+        nq[0] = src[0]
+        nq[1] = src[0]
+
+    def run(**opts):
+        with push_context(Context("vec", **opts)):
+            w = make_world()
+            par_loop(k, "dup_write", w["cells"], OPP_ITERATE_ALL,
+                     arg_dat(w["cell_q"], OPP_READ),
+                     arg_dat(w["node_q"], 0, w["c2n"], OPP_WRITE))
+
+    run()   # default: silent (racy but permitted, matching OP-PIC)
+    with pytest.raises(RuntimeError, match="nonunique-write"):
+        run(check_unique_writes=True)
+
+
+# -- apps under the sanitizer (acceptance criterion) ---------------------------
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("app", ["fempic", "cabana", "advec", "twod"])
+def test_apps_sanitize_clean(app):
+    from repro.cli import _verify_app
+    assert _verify_app(app, steps=None, quiet=True) == 0
