@@ -71,13 +71,16 @@ class _Rank:
 
 class DistributedCabana:
     """N-rank CabanaPIC; the application step is unchanged except that
-    halo refresh / reduction calls appear between loops."""
+    halo refresh / reduction calls appear between loops.  ``comm``
+    selects the rank transport (see :class:`DistributedFemPic`)."""
 
     def __init__(self, config: Optional[CabanaConfig] = None,
                  nranks: int = 2,
-                 partition_method: str = "principal_direction"):
+                 partition_method: str = "principal_direction",
+                 comm=None):
         self.cfg = cfg = config or CabanaConfig()
-        self.comm = SimComm(nranks)
+        self.comm = comm if comm is not None else SimComm(nranks)
+        nranks = self.comm.nranks
         self.gmesh = HexMesh(cfg.nx, cfg.ny, cfg.nz, cfg.lx, cfg.ly, cfg.lz)
         declare_cabana_constants(cfg)
 
@@ -88,8 +91,11 @@ class DistributedCabana:
         self.meshes, self.plan = build_rank_meshes(
             self.gmesh.stencil_c2c, self.cell_owner, nranks)
 
-        self.ranks: List[_Rank] = []
+        self.ranks: List[Optional[_Rank]] = []
         for r in range(nranks):
+            if not self.comm.is_local(r):
+                self.ranks.append(None)
+                continue
             rm = self.meshes[r]
             g2l = np.full(self.gmesh.n_cells, -1, dtype=np.int64)
             g2l[rm.cells_global] = np.arange(rm.cells_global.size)
@@ -100,10 +106,15 @@ class DistributedCabana:
         self._initialize_particles()
         self.history = {"e_energy": [], "b_energy": []}
 
+    def _local(self):
+        """(rank, declarations) pairs resident in this process."""
+        return [(r, rk) for r, rk in enumerate(self.ranks)
+                if rk is not None]
+
     def _initialize_particles(self) -> None:
         cells, offsets, vel = two_stream_initial_state(self.cfg)
         owner = self.cell_owner[cells]
-        for r, rk in enumerate(self.ranks):
+        for r, rk in self._local():
             mine = np.flatnonzero(owner == r)
             g2l = np.full(self.gmesh.n_cells, -1, dtype=np.int64)
             g2l[rk.rm.cells_global] = np.arange(rk.rm.cells_global.size)
@@ -120,12 +131,13 @@ class DistributedCabana:
         """Push one cell dat's owner values to ghosts, timed per rank as
         the paper's ``Update_Ghosts``."""
         t0 = time.perf_counter()
-        push_cell_halos([getattr(rk, dats_name) for rk in self.ranks],
-                        self.plan, self.comm)
+        push_cell_halos([getattr(rk, dats_name) if rk else None
+                         for rk in self.ranks], self.plan, self.comm)
         dt = time.perf_counter() - t0
-        for rk in self.ranks:
+        local = self._local()
+        for _r, rk in local:
             rk.ctx.perf.record_loop("Update_Ghosts", n=rk.rm.n_halo_cells,
-                                    seconds=dt / len(self.ranks),
+                                    seconds=dt / len(local),
                                     flops=0.0,
                                     nbytes=rk.rm.n_halo_cells * 24.0,
                                     indirect_inc=False)
@@ -136,7 +148,7 @@ class DistributedCabana:
         cfg = self.cfg
         self._update_ghosts("e")
         self._update_ghosts("b")
-        for rk in self.ranks:
+        for _r, rk in self._local():
             with push_context(rk.ctx):
                 par_loop(k.interpolate_kernel, "Interpolate", rk.cells,
                          OPP_ITERATE_ALL,
@@ -157,32 +169,34 @@ class DistributedCabana:
 
         mpi_particle_move(
             self.comm, self.plan, self.meshes,
-            [rk.ctx for rk in self.ranks],
+            [rk.ctx if rk else None for rk in self.ranks],
             k.move_deposit_kernel, "Move_Deposit",
-            [rk.parts for rk in self.ranks],
-            [rk.faces for rk in self.ranks],
-            [rk.p2c for rk in self.ranks],
+            [rk.parts if rk else None for rk in self.ranks],
+            [rk.faces if rk else None for rk in self.ranks],
+            [rk.p2c if rk else None for rk in self.ranks],
             [[arg_dat(rk.pos, OPP_RW),
               arg_dat(rk.disp, OPP_RW),
               arg_dat(rk.vel, OPP_RW),
               arg_dat(rk.w, OPP_READ),
               arg_dat(rk.pushed, OPP_RW),
               arg_dat(rk.interp, rk.p2c, OPP_READ),
-              arg_dat(rk.acc, rk.p2c, OPP_INC)] for rk in self.ranks],
-            [rk.exchange_dats for rk in self.ranks])
+              arg_dat(rk.acc, rk.p2c, OPP_INC)] if rk else None
+             for rk in self.ranks],
+            [rk.exchange_dats if rk else None for rk in self.ranks])
 
         t0 = time.perf_counter()
-        reduce_cell_halos([rk.acc for rk in self.ranks], self.plan,
-                          self.comm)
+        reduce_cell_halos([rk.acc if rk else None for rk in self.ranks],
+                          self.plan, self.comm)
         dt = time.perf_counter() - t0
-        for rk in self.ranks:
+        local = self._local()
+        for _r, rk in local:
             rk.ctx.perf.record_loop("Update_Ghosts", n=rk.rm.n_halo_cells,
-                                    seconds=dt / len(self.ranks),
+                                    seconds=dt / len(local),
                                     flops=0.0,
                                     nbytes=rk.rm.n_halo_cells * 24.0,
                                     indirect_inc=False)
 
-        for rk in self.ranks:
+        for _r, rk in self._local():
             with push_context(rk.ctx):
                 par_loop(k.accumulate_current_kernel, "AccumulateCurrent",
                          rk.cells, OPP_ITERATE_ALL,
@@ -196,7 +210,7 @@ class DistributedCabana:
                          arg_dat(rk.e, _S["YP"], rk.stencil, OPP_READ),
                          arg_dat(rk.e, _S["ZP"], rk.stencil, OPP_READ))
         self._update_ghosts("b")
-        for rk in self.ranks:
+        for _r, rk in self._local():
             with push_context(rk.ctx):
                 par_loop(k.advance_e_kernel, "AdvanceE", rk.cells,
                          OPP_ITERATE_ALL,
@@ -207,7 +221,7 @@ class DistributedCabana:
                          arg_dat(rk.b, _S["ZM"], rk.stencil, OPP_READ),
                          arg_dat(rk.j, OPP_READ))
         self._update_ghosts("e")
-        for rk in self.ranks:
+        for _r, rk in self._local():
             with push_context(rk.ctx):
                 par_loop(k.advance_b_kernel, "AdvanceB", rk.cells,
                          OPP_ITERATE_ALL,
@@ -219,6 +233,10 @@ class DistributedCabana:
 
         evals, bvals = [], []
         for rk in self.ranks:
+            if rk is None:
+                evals.append(np.zeros(1))
+                bvals.append(np.zeros(1))
+                continue
             rk.e_energy.data[0] = 0.0
             rk.b_energy.data[0] = 0.0
             with push_context(rk.ctx):
@@ -241,7 +259,8 @@ class DistributedCabana:
         return self.history
 
     def busy_seconds_per_rank(self) -> List[float]:
-        return [rk.ctx.perf.total_seconds for rk in self.ranks]
+        return [rk.ctx.perf.total_seconds if rk else 0.0
+                for rk in self.ranks]
 
     @property
     def nranks(self) -> int:

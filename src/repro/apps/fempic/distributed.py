@@ -90,14 +90,24 @@ class _Rank:
 
 
 class DistributedFemPic:
-    """N-rank Mini-FEM-PIC with halo exchange and particle migration."""
+    """N-rank Mini-FEM-PIC with halo exchange and particle migration.
+
+    ``comm`` selects the rank transport: ``None`` builds the in-process
+    :class:`SimComm` (one program drives all ranks); an SPMD transport
+    (``repro.dist.proc.ProcTransport``) makes this instance host exactly
+    one rank — the global mesh, partition and halo plan are rebuilt
+    deterministically in every rank process, but per-rank sets/dats exist
+    only for the resident rank, and every loop below is locality-guarded.
+    """
 
     def __init__(self, config: Optional[FemPicConfig] = None,
                  nranks: int = 2,
                  partition_method: str = "principal_direction",
-                 ranks_per_node: Optional[int] = None):
+                 ranks_per_node: Optional[int] = None,
+                 comm=None):
         self.cfg = cfg = config or FemPicConfig()
-        self.comm = SimComm(nranks)
+        self.comm = comm if comm is not None else SimComm(nranks)
+        nranks = self.comm.nranks
         #: traffic of the gathered field solve (the PETSc stand-in) is
         #: accounted separately from PIC halo/migration traffic
         self.solve_stats = CommStats(nranks)
@@ -113,26 +123,32 @@ class DistributedFemPic:
         # constants are global (decl_const) — same values on every rank
         declare_fempic_constants(cfg)
 
-        self.ranks: List[_Rank] = [
+        self.ranks: List[Optional[_Rank]] = [
             _Rank(r, cfg, self.gmesh, self.meshes[r])
+            if self.comm.is_local(r) else None
             for r in range(nranks)]
         self.rngs = [np.random.default_rng(cfg.seed + 1000 * r)
                      for r in range(nranks)]
 
-        # global field solve operator (rank-0 KSP)
-        self.K = build_stiffness(self.gmesh.points, self.gmesh.cell2node)
-        dn = np.concatenate([self.gmesh.tags["inlet_nodes"],
-                             self.gmesh.tags["wall_nodes"]])
-        dv = np.concatenate([
-            np.full(len(self.gmesh.tags["inlet_nodes"]),
-                    cfg.inlet_potential),
-            np.full(len(self.gmesh.tags["wall_nodes"]),
-                    cfg.wall_potential)])
-        order = np.argsort(dn)
-        self.dirichlet = DirichletSystem(self.K, dn[order], dv[order])
+        # global field solve operator (rank-0 KSP); only the rank that
+        # runs the gathered Newton solve needs it
+        self.K = None
+        self.dirichlet = None
         self.phi_global = np.zeros(self.gmesh.n_nodes)
-        self.phi_global[self.dirichlet.dirichlet_nodes] = \
-            self.dirichlet.dirichlet_values
+        if self.comm.is_local(0):
+            self.K = build_stiffness(self.gmesh.points,
+                                     self.gmesh.cell2node)
+            dn = np.concatenate([self.gmesh.tags["inlet_nodes"],
+                                 self.gmesh.tags["wall_nodes"]])
+            dv = np.concatenate([
+                np.full(len(self.gmesh.tags["inlet_nodes"]),
+                        cfg.inlet_potential),
+                np.full(len(self.gmesh.tags["wall_nodes"]),
+                        cfg.wall_potential)])
+            order = np.argsort(dn)
+            self.dirichlet = DirichletSystem(self.K, dn[order], dv[order])
+            self.phi_global[self.dirichlet.dirichlet_nodes] = \
+                self.dirichlet.dirichlet_values
         self._scatter_phi()
 
         self.dh_mover = None
@@ -153,6 +169,11 @@ class DistributedFemPic:
     def nranks(self) -> int:
         return self.comm.nranks
 
+    def _local(self):
+        """(rank, declarations) pairs resident in this process."""
+        return [(r, rk) for r, rk in enumerate(self.ranks)
+                if rk is not None]
+
     def _scatter_phi(self) -> None:
         """Rank 0 broadcasts each rank's owned potentials; ghosts follow
         via the node-halo push."""
@@ -163,14 +184,23 @@ class DistributedFemPic:
             self.comm.swap_stats(old)
 
     def _scatter_phi_body(self) -> None:
-        for r, rk in enumerate(self.ranks):
-            owned = rk.rm.nodes_global[: rk.rm.n_owned_nodes]
-            payload = self.phi_global[owned].reshape(-1, 1)
-            if r != 0:
-                self.comm.send(0, r, payload, tag=40)
-                payload = self.comm.recv(r, 0, tag=40)
-            rk.phi.data[: rk.rm.n_owned_nodes] = payload
-        push_node_halos([rk.phi for rk in self.ranks], self.plan, self.comm)
+        comm = self.comm
+        for r in range(self.nranks):
+            rm = self.meshes[r]
+            owned = rm.nodes_global[: rm.n_owned_nodes]
+            if r == 0:
+                if comm.is_local(0):
+                    self.ranks[0].phi.data[: rm.n_owned_nodes] = \
+                        self.phi_global[owned].reshape(-1, 1)
+                continue
+            if comm.is_local(0):
+                comm.send(0, r, self.phi_global[owned].reshape(-1, 1),
+                          tag=40)
+            if comm.is_local(r):
+                self.ranks[r].phi.data[: rm.n_owned_nodes] = \
+                    comm.recv(r, 0, tag=40)
+        push_node_halos([rk.phi if rk else None for rk in self.ranks],
+                        self.plan, comm)
 
     def _gather_node_charge(self) -> np.ndarray:
         old = self.comm.swap_stats(self.solve_stats)
@@ -180,25 +210,39 @@ class DistributedFemPic:
             self.comm.swap_stats(old)
 
     def _gather_node_charge_body(self) -> np.ndarray:
+        comm = self.comm
         w = np.zeros(self.gmesh.n_nodes)
-        for r, rk in enumerate(self.ranks):
-            owned = rk.rm.nodes_global[: rk.rm.n_owned_nodes]
-            payload = rk.nw.data[: rk.rm.n_owned_nodes, 0]
-            if r != 0:
-                self.comm.send(r, 0, payload, tag=41)
-                payload = self.comm.recv(0, r, tag=41)
-            w[owned] = payload
+        for r in range(self.nranks):
+            rm = self.meshes[r]
+            owned = rm.nodes_global[: rm.n_owned_nodes]
+            if r == 0:
+                if comm.is_local(0):
+                    w[owned] = self.ranks[0].nw.data[: rm.n_owned_nodes, 0]
+                continue
+            if comm.is_local(r):
+                comm.send(r, 0,
+                          self.ranks[r].nw.data[: rm.n_owned_nodes, 0],
+                          tag=41)
+            if comm.is_local(0):
+                w[owned] = comm.recv(0, r, tag=41)
         return w
 
     def seed_uniform_plasma(self, ppc: int) -> int:
         """Pre-fill every rank's owned cells with ``ppc`` ions (see the
-        single-node method); used by the weak-scaling benchmarks."""
-        total = 0
-        for r, rk in enumerate(self.ranks):
+        single-node method); used by the weak-scaling benchmarks.
+
+        The barycentric draws come from a dedicated RNG in *global* cell
+        order, so the seeded plasma is the same physical particle set at
+        every rank count — N-rank runs are directly comparable to the
+        1-rank reference."""
+        total = self.gmesh.n_cells * ppc
+        lam_global = np.random.default_rng(self.cfg.seed).dirichlet(
+            np.ones(4), size=total).reshape(self.gmesh.n_cells, ppc, 4)
+        for r, rk in self._local():
             owned = rk.rm.cells_global[: rk.rm.n_owned_cells]
             n = owned.size * ppc
             cells_local = np.repeat(np.arange(owned.size), ppc)
-            lam = self.rngs[r].dirichlet(np.ones(4), size=n)
+            lam = lam_global[owned].reshape(n, 4)
             verts = self.gmesh.points[self.gmesh.cell2node[owned]]
             verts = np.repeat(verts, ppc, axis=0)
             pos = np.einsum("ni,nid->nd", lam, verts)
@@ -207,14 +251,13 @@ class DistributedFemPic:
             rk.vel.data[sl] = [0.0, 0.0, self.cfg.injection_velocity]
             rk.lc.data[sl] = lam
             rk.parts.end_injection()
-            total += n
         return total
 
     # -- step phases ---------------------------------------------------------------
 
     def inject(self) -> None:
         total_area = self.cfg.inlet_area
-        for r, rk in enumerate(self.ranks):
+        for r, rk in self._local():
             if rk.inlet_faces.shape[0] == 0:
                 rk.parts.begin_injection()
                 rk.parts.end_injection()
@@ -243,7 +286,7 @@ class DistributedFemPic:
             rk.parts.end_injection()
 
     def calc_pos_vel(self) -> None:
-        for rk in self.ranks:
+        for _r, rk in self._local():
             with push_context(rk.ctx):
                 par_loop(k.calc_pos_vel_kernel, "CalcPosVel", rk.parts,
                          OPP_ITERATE_ALL,
@@ -254,25 +297,29 @@ class DistributedFemPic:
     def move(self) -> int:
         if self.dh_mover is not None:
             self.dh_mover.global_move(
-                [rk.parts for rk in self.ranks],
-                [rk.pos for rk in self.ranks],
-                [rk.p2c for rk in self.ranks],
-                [[rk.pos, rk.vel, rk.lc] for rk in self.ranks])
+                [rk.parts if rk else None for rk in self.ranks],
+                [rk.pos if rk else None for rk in self.ranks],
+                [rk.p2c if rk else None for rk in self.ranks],
+                [[rk.pos, rk.vel, rk.lc] if rk else None
+                 for rk in self.ranks])
         results = mpi_particle_move(
             self.comm, self.plan, self.meshes,
-            [rk.ctx for rk in self.ranks],
+            [rk.ctx if rk else None for rk in self.ranks],
             k.move_kernel, "Move",
-            [rk.parts for rk in self.ranks],
-            [rk.c2c for rk in self.ranks],
-            [rk.p2c for rk in self.ranks],
+            [rk.parts if rk else None for rk in self.ranks],
+            [rk.c2c if rk else None for rk in self.ranks],
+            [rk.p2c if rk else None for rk in self.ranks],
             [[arg_dat(rk.pos, OPP_READ),
               arg_dat(rk.lc, OPP_WRITE),
-              arg_dat(rk.xform, rk.p2c, OPP_READ)] for rk in self.ranks],
-            [[rk.pos, rk.vel, rk.lc] for rk in self.ranks])
-        return sum(res.n_removed for res in results)
+              arg_dat(rk.xform, rk.p2c, OPP_READ)] if rk else None
+             for rk in self.ranks],
+            [[rk.pos, rk.vel, rk.lc] if rk else None for rk in self.ranks])
+        return int(self.comm.allreduce(
+            [0 if res is None else res.n_removed for res in results],
+            "sum"))
 
     def deposit(self) -> None:
-        for rk in self.ranks:
+        for _r, rk in self._local():
             with push_context(rk.ctx):
                 rk.nw.data[:] = 0.0
                 par_loop(k.deposit_charge_kernel, "DepositCharge", rk.parts,
@@ -282,8 +329,9 @@ class DistributedFemPic:
                          arg_dat(rk.nw, 1, rk.c2n, rk.p2c, OPP_INC),
                          arg_dat(rk.nw, 2, rk.c2n, rk.p2c, OPP_INC),
                          arg_dat(rk.nw, 3, rk.c2n, rk.p2c, OPP_INC))
-        reduce_node_halos([rk.nw for rk in self.ranks], self.plan, self.comm)
-        for rk in self.ranks:
+        reduce_node_halos([rk.nw if rk else None for rk in self.ranks],
+                          self.plan, self.comm)
+        for _r, rk in self._local():
             with push_context(rk.ctx):
                 par_loop(k.compute_node_charge_density_kernel,
                          "ComputeNodeChargeDensity", rk.nodes,
@@ -295,28 +343,31 @@ class DistributedFemPic:
     def field_solve(self) -> None:
         """Gathered Newton/KSP on rank 0 (the PETSc stand-in)."""
         w = self._gather_node_charge()
-        cfg = self.cfg
-        t0 = time.perf_counter()
-        nvol = lumped_node_volumes(self.gmesh.points, self.gmesh.cell2node)
-        phi = self.phi_global
-        for _ in range(cfg.newton_iters):
-            boltz = cfg.n0 * np.exp((phi - cfg.phi0) / cfg.kTe) / cfg.eps0
-            f1 = self.K @ phi - (w * cfg.spwt * cfg.ion_charge / cfg.eps0
-                                 - nvol * boltz)
-            jdiag = nvol * boltz / cfg.kTe
-            a = (self.K + sp.diags(jdiag)).tocsr()
-            free = self.dirichlet.free
-            ksp = KSPSolver(a[free][:, free], pc="jacobi",
-                            rtol=cfg.ksp_rtol)
-            phi[free] += ksp.solve(-f1[free]).x
-        dt = time.perf_counter() - t0
-        self.ranks[0].ctx.perf.record_loop(
-            "Solve", n=self.dirichlet.free.size, seconds=dt,
-            flops=0.0, nbytes=0.0, indirect_inc=False)
+        if self.comm.is_local(0):
+            cfg = self.cfg
+            t0 = time.perf_counter()
+            nvol = lumped_node_volumes(self.gmesh.points,
+                                       self.gmesh.cell2node)
+            phi = self.phi_global
+            for _ in range(cfg.newton_iters):
+                boltz = cfg.n0 * np.exp((phi - cfg.phi0) / cfg.kTe) \
+                    / cfg.eps0
+                f1 = self.K @ phi - (w * cfg.spwt * cfg.ion_charge
+                                     / cfg.eps0 - nvol * boltz)
+                jdiag = nvol * boltz / cfg.kTe
+                a = (self.K + sp.diags(jdiag)).tocsr()
+                free = self.dirichlet.free
+                ksp = KSPSolver(a[free][:, free], pc="jacobi",
+                                rtol=cfg.ksp_rtol)
+                phi[free] += ksp.solve(-f1[free]).x
+            dt = time.perf_counter() - t0
+            self.ranks[0].ctx.perf.record_loop(
+                "Solve", n=self.dirichlet.free.size, seconds=dt,
+                flops=0.0, nbytes=0.0, indirect_inc=False)
         self._scatter_phi()
 
     def compute_electric_field(self) -> None:
-        for rk in self.ranks:
+        for _r, rk in self._local():
             with push_context(rk.ctx):
                 par_loop(k.compute_electric_field_kernel,
                          "ComputeElectricField", rk.cells, OPP_ITERATE_ALL,
@@ -329,11 +380,15 @@ class DistributedFemPic:
         # halo cells also need fields for particles paused there pre-move;
         # push owner values to ghost cells
         from repro.runtime import push_cell_halos
-        push_cell_halos([rk.ef for rk in self.ranks], self.plan, self.comm)
+        push_cell_halos([rk.ef if rk else None for rk in self.ranks],
+                        self.plan, self.comm)
 
     def field_energy(self) -> float:
         vals = []
         for rk in self.ranks:
+            if rk is None:
+                vals.append(np.zeros(1))
+                continue
             rk.energy.data[0] = 0.0
             with push_context(rk.ctx):
                 par_loop(k.field_energy_kernel, "FieldEnergy", rk.cells,
@@ -354,8 +409,8 @@ class DistributedFemPic:
         self.field_solve()
         self.compute_electric_field()
         energy = self.field_energy()
-        self.history["n_particles"].append(
-            sum(rk.parts.size for rk in self.ranks))
+        self.history["n_particles"].append(int(self.comm.allreduce(
+            [rk.parts.size if rk else 0 for rk in self.ranks], "sum")))
         self.history["field_energy"].append(energy)
         self.history["removed"].append(removed)
 
@@ -367,7 +422,8 @@ class DistributedFemPic:
     # -- perf ----------------------------------------------------------------------
 
     def busy_seconds_per_rank(self) -> List[float]:
-        return [rk.ctx.perf.total_seconds for rk in self.ranks]
+        return [rk.ctx.perf.total_seconds if rk else 0.0
+                for rk in self.ranks]
 
 
 class _SubMesh:

@@ -34,9 +34,10 @@ class DistributedTwoD:
     """N-rank 2-D sheet model."""
 
     def __init__(self, config: Optional[TwoDConfig] = None,
-                 nranks: int = 2):
+                 nranks: int = 2, comm=None):
         self.cfg = cfg = config or TwoDConfig()
-        self.comm = SimComm(nranks)
+        self.comm = comm if comm is not None else SimComm(nranks)
+        nranks = self.comm.nranks
         self.solve_stats = CommStats(nranks)
         self.gmesh = square_tri_mesh(cfg.nx, cfg.ny, cfg.lx, cfg.ly)
 
@@ -53,15 +54,23 @@ class DistributedTwoD:
             self.gmesh.c2c, self.cell_owner, nranks,
             c2n=self.gmesh.cell2node)
 
-        self.K = build_tri_stiffness(self.gmesh)
-        node_areas = lumped_node_areas(self.gmesh)
-        bnodes = self.gmesh.tags["boundary_nodes"]
-        self.dirichlet = DirichletSystem(self.K, bnodes,
-                                         np.zeros(len(bnodes)))
-        self.background = -cfg.qe * cfg.density * node_areas
+        # gathered Poisson operator: only the solving rank needs it
+        self.K = None
+        self.dirichlet = None
+        self.background = None
+        if self.comm.is_local(0):
+            self.K = build_tri_stiffness(self.gmesh)
+            node_areas = lumped_node_areas(self.gmesh)
+            bnodes = self.gmesh.tags["boundary_nodes"]
+            self.dirichlet = DirichletSystem(self.K, bnodes,
+                                             np.zeros(len(bnodes)))
+            self.background = -cfg.qe * cfg.density * node_areas
 
-        self.ranks: List[dict] = []
+        self.ranks: List[Optional[dict]] = []
         for r in range(nranks):
+            if not self.comm.is_local(r):
+                self.ranks.append(None)
+                continue
             rm = self.meshes[r]
             ctx = Context(cfg.backend, **cfg.backend_options)
             cells = decl_set(rm.n_local_cells, f"tri_cells_r{r}")
@@ -91,6 +100,11 @@ class DistributedTwoD:
         self._seed()
         self.history = {"field_energy": [], "n_particles": []}
 
+    def _local(self):
+        """(rank, declarations) pairs resident in this process."""
+        return [(r, rk) for r, rk in enumerate(self.ranks)
+                if rk is not None]
+
     def _seed(self) -> None:
         cfg = self.cfg
         rng = np.random.default_rng(cfg.seed)
@@ -106,7 +120,7 @@ class DistributedTwoD:
         homes = self.gmesh.locate(pts, guesses=cells_g)
         lam_home = self.gmesh.barycentric(homes, pts)
         owner = self.cell_owner[homes]
-        for r, rk in enumerate(self.ranks):
+        for r, rk in self._local():
             g2l = np.full(self.gmesh.n_cells, -1, dtype=np.int64)
             g2l[rk["rm"].cells_global] = np.arange(
                 rk["rm"].cells_global.size)
@@ -121,36 +135,54 @@ class DistributedTwoD:
 
     def _solve(self) -> None:
         cfg = self.cfg
+        comm = self.comm
         # gather owned node weights (PETSc stand-in; separate ledger)
-        old = self.comm.swap_stats(self.solve_stats)
+        old = comm.swap_stats(self.solve_stats)
         try:
             w = np.zeros(self.gmesh.n_nodes)
-            for r, rk in enumerate(self.ranks):
-                owned = rk["rm"].nodes_global[: rk["rm"].n_owned_nodes]
-                payload = rk["nw"].data[: rk["rm"].n_owned_nodes, 0]
-                if r != 0:
-                    self.comm.send(r, 0, payload, tag=60)
-                    payload = self.comm.recv(0, r, tag=60)
-                w[owned] = payload
-            net = (w * cfg.weight * cfg.qe + self.background) / cfg.eps0
-            free = self.dirichlet.free
-            sol = KSPSolver(self.dirichlet.k_ff, pc="jacobi",
-                            rtol=1e-10).solve(net[free])
-            phi = self.dirichlet.full_vector(sol.x)
-            for r, rk in enumerate(self.ranks):
-                owned = rk["rm"].nodes_global[: rk["rm"].n_owned_nodes]
-                payload = phi[owned].reshape(-1, 1)
-                if r != 0:
-                    self.comm.send(0, r, payload, tag=61)
-                    payload = self.comm.recv(r, 0, tag=61)
-                rk["phi"].data[: rk["rm"].n_owned_nodes] = payload
+            for r in range(self.nranks):
+                rm = self.meshes[r]
+                owned = rm.nodes_global[: rm.n_owned_nodes]
+                if r == 0:
+                    if comm.is_local(0):
+                        w[owned] = self.ranks[0]["nw"].data[
+                            : rm.n_owned_nodes, 0]
+                    continue
+                if comm.is_local(r):
+                    comm.send(
+                        r, 0,
+                        self.ranks[r]["nw"].data[: rm.n_owned_nodes, 0],
+                        tag=60)
+                if comm.is_local(0):
+                    w[owned] = comm.recv(0, r, tag=60)
+            phi = np.zeros(self.gmesh.n_nodes)
+            if comm.is_local(0):
+                net = (w * cfg.weight * cfg.qe + self.background) \
+                    / cfg.eps0
+                free = self.dirichlet.free
+                sol = KSPSolver(self.dirichlet.k_ff, pc="jacobi",
+                                rtol=1e-10).solve(net[free])
+                phi = self.dirichlet.full_vector(sol.x)
+            for r in range(self.nranks):
+                rm = self.meshes[r]
+                owned = rm.nodes_global[: rm.n_owned_nodes]
+                if r == 0:
+                    if comm.is_local(0):
+                        self.ranks[0]["phi"].data[: rm.n_owned_nodes] = \
+                            phi[owned].reshape(-1, 1)
+                    continue
+                if comm.is_local(0):
+                    comm.send(0, r, phi[owned].reshape(-1, 1), tag=61)
+                if comm.is_local(r):
+                    self.ranks[r]["phi"].data[: rm.n_owned_nodes] = \
+                        comm.recv(r, 0, tag=61)
         finally:
-            self.comm.swap_stats(old)
-        push_node_halos([rk["phi"] for rk in self.ranks], self.plan,
-                        self.comm)
+            comm.swap_stats(old)
+        push_node_halos([rk["phi"] if rk else None for rk in self.ranks],
+                        self.plan, comm)
 
     def step(self) -> None:
-        for rk in self.ranks:
+        for _r, rk in self._local():
             with push_context(rk["ctx"]):
                 par_loop(k.reset2d_kernel, "Reset2D", rk["nodes"],
                          OPP_ITERATE_ALL, arg_dat(rk["nw"], OPP_WRITE))
@@ -163,10 +195,10 @@ class DistributedTwoD:
                                  OPP_INC),
                          arg_dat(rk["nw"], 2, rk["c2n"], rk["p2c"],
                                  OPP_INC))
-        reduce_node_halos([rk["nw"] for rk in self.ranks], self.plan,
-                          self.comm)
+        reduce_node_halos([rk["nw"] if rk else None for rk in self.ranks],
+                          self.plan, self.comm)
         self._solve()
-        for rk in self.ranks:
+        for _r, rk in self._local():
             with push_context(rk["ctx"]):
                 par_loop(k.field2d_kernel, "Field2D", rk["cells"],
                          OPP_ITERATE_ALL,
@@ -176,9 +208,9 @@ class DistributedTwoD:
                          arg_dat(rk["phi"], 1, rk["c2n"], OPP_READ),
                          arg_dat(rk["phi"], 2, rk["c2n"], OPP_READ))
         from repro.runtime import push_cell_halos
-        push_cell_halos([rk["ef"] for rk in self.ranks], self.plan,
-                        self.comm)
-        for rk in self.ranks:
+        push_cell_halos([rk["ef"] if rk else None for rk in self.ranks],
+                        self.plan, self.comm)
+        for _r, rk in self._local():
             with push_context(rk["ctx"]):
                 par_loop(k.push2d_kernel, "Push2D", rk["parts"],
                          OPP_ITERATE_ALL,
@@ -187,29 +219,31 @@ class DistributedTwoD:
                          arg_dat(rk["vel"], OPP_RW))
         mpi_particle_move(
             self.comm, self.plan, self.meshes,
-            [rk["ctx"] for rk in self.ranks],
+            [rk["ctx"] if rk else None for rk in self.ranks],
             k.move2d_kernel, "Move2D",
-            [rk["parts"] for rk in self.ranks],
-            [rk["c2c"] for rk in self.ranks],
-            [rk["p2c"] for rk in self.ranks],
+            [rk["parts"] if rk else None for rk in self.ranks],
+            [rk["c2c"] if rk else None for rk in self.ranks],
+            [rk["p2c"] if rk else None for rk in self.ranks],
             [[arg_dat(rk["pos"], OPP_READ),
               arg_dat(rk["lc"], OPP_WRITE),
-              arg_dat(rk["xform"], rk["p2c"], OPP_READ)]
+              arg_dat(rk["xform"], rk["p2c"], OPP_READ)] if rk else None
              for rk in self.ranks],
-            [[rk["pos"], rk["vel"], rk["lc"]] for rk in self.ranks])
+            [[rk["pos"], rk["vel"], rk["lc"]] if rk else None
+             for rk in self.ranks])
 
-        energy = 0.0
+        vals = []
         for rk in self.ranks:
+            if rk is None:
+                vals.append(0.0)
+                continue
             owned = rk["rm"].n_owned_cells
             e2 = (rk["ef"].data[:owned] ** 2).sum(axis=1)
             areas = self.gmesh.areas[rk["rm"].cells_global[:owned]]
-            energy += 0.5 * self.cfg.eps0 * float((e2 * areas).sum())
+            vals.append(0.5 * self.cfg.eps0 * float((e2 * areas).sum()))
         self.history["field_energy"].append(
-            float(self.comm.allreduce(
-                [energy if r == 0 else 0.0
-                 for r in range(self.nranks)], "sum")))
-        self.history["n_particles"].append(
-            sum(rk["parts"].size for rk in self.ranks))
+            float(self.comm.allreduce(vals, "sum")))
+        self.history["n_particles"].append(int(self.comm.allreduce(
+            [rk["parts"].size if rk else 0 for rk in self.ranks], "sum")))
 
     @property
     def nranks(self) -> int:

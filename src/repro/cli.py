@@ -4,8 +4,14 @@ The paper's artifact runs applications as ``<app_binary> <config_file>``;
 the equivalent here::
 
     python -m repro fempic [config.cfg] [--steps N] [--backend vec] ...
+    python -m repro fempic --ranks 4 --transport proc --backend mp ...
     python -m repro cabana [config.cfg] [--ppc N] ...
     python -m repro mesh --nx 4 --ny 4 --nz 12 --out duct.dat
+
+``--ranks N`` runs the distributed driver; ``--transport`` picks the
+rank transport (``sim`` = in-process simulated ranks, ``proc`` = real
+OS rank processes), and ``--backend`` then selects each rank's on-node
+backend — the MPI+X matrix.
 
 Config files use the OP-PIC key=value format (see
 :mod:`repro.util.config`); command-line flags override file values.
@@ -18,6 +24,15 @@ from pathlib import Path
 from typing import List, Optional
 
 __all__ = ["main"]
+
+
+def _add_dist_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--ranks", type=int, default=None, metavar="N",
+                   help="run distributed over N ranks")
+    p.add_argument("--transport", default="sim",
+                   choices=["sim", "proc"],
+                   help="rank transport for --ranks: in-process "
+                   "simulated ranks or real OS rank processes")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -37,6 +52,7 @@ def _build_parser() -> argparse.ArgumentParser:
     fp.add_argument("--mesh-file", default=None)
     fp.add_argument("--vtk", default=None, metavar="DIR",
                     help="write mesh+particle VTK files here at the end")
+    _add_dist_flags(fp)
     fp.add_argument("--quiet", action="store_true")
 
     cb = sub.add_parser("cabana", help="run CabanaPIC (two-stream)")
@@ -53,6 +69,7 @@ def _build_parser() -> argparse.ArgumentParser:
                              "higuera_cary"])
     cb.add_argument("--validate", action="store_true",
                     help="also run the structured reference and compare")
+    _add_dist_flags(cb)
     cb.add_argument("--quiet", action="store_true")
 
     ad = sub.add_parser("advec", help="run the advection mini-app")
@@ -65,6 +82,7 @@ def _build_parser() -> argparse.ArgumentParser:
     td = sub.add_parser("twod", help="run the 2-D sheet model")
     td.add_argument("config", nargs="?", help="key=value config file")
     td.add_argument("--steps", type=int, default=None)
+    _add_dist_flags(td)
     td.add_argument("--quiet", action="store_true")
 
     vf = sub.add_parser(
@@ -77,6 +95,13 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="override the app's smoke step count")
     vf.add_argument("--conformance", action="store_true",
                     help="run the differential backend-conformance sweep")
+    vf.add_argument("--dist-conformance", action="store_true",
+                    help="run the distributed-op conformance sweep "
+                    "(random mini-worlds on 2-3 ranks vs the 1-rank "
+                    "oracle)")
+    vf.add_argument("--transport", default="sim",
+                    choices=["sim", "proc"],
+                    help="rank transport for --dist-conformance")
     vf.add_argument("--cases", type=int, default=60, metavar="N",
                     help="number of generated conformance cases")
     vf.add_argument("--seed", type=int, default=0,
@@ -119,11 +144,45 @@ def _overlay(cfg, args, fields) -> object:
     return cfg.scaled(**overrides) if overrides else cfg
 
 
+def _run_dist_app(app: str, cfg, args) -> int:
+    """The single distributed entry point every app subcommand routes
+    through when ``--ranks`` is given."""
+    from repro.dist.driver import run_distributed
+    from repro.dist.transport import RankFailure
+    try:
+        res = run_distributed(app, cfg, nranks=args.ranks,
+                              transport=args.transport)
+    except RankFailure as failure:
+        print(f"distributed run FAILED: {failure}", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        print(f"{app}: {res.nranks} ranks over {res.transport!r} "
+              f"transport, backend={cfg.backend}")
+        for key, series in res.history.items():
+            if len(series):
+                print(f"final {key}: {series[-1]}")
+        print(f"comm: {int(res.stats.msg_count.sum())} msgs / "
+              f"{res.stats.total_bytes} B, "
+              f"{res.stats.collectives} collectives, "
+              f"{res.stats.rma_ops} RMA ops")
+        busy = res.busy_seconds_per_rank()
+        print("busy seconds per rank: "
+              + ", ".join(f"r{r}={b:.3f}" for r, b in enumerate(busy)))
+        print(f"critical path {res.critical_path_seconds:.3f} s, "
+              f"wall {res.wall_seconds:.3f} s")
+        print(res.perf.report())
+    return 0
+
+
 def _run_fempic(args) -> int:
     from repro.apps.fempic import FemPicConfig, FemPicSimulation
     cfg = _overlay(FemPicConfig(), args,
                    {"steps": "n_steps", "backend": "backend",
                     "move": "move_strategy", "mesh_file": "mesh_file"})
+    if args.ranks:
+        if args.vtk:
+            raise SystemExit("error: --vtk is not supported with --ranks")
+        return _run_dist_app("fempic", cfg, args)
     sim = FemPicSimulation(cfg)
     sim.run()
     if not args.quiet:
@@ -158,6 +217,11 @@ def _run_cabana(args) -> int:
     cfg = _overlay(CabanaConfig(), args,
                    {"steps": "n_steps", "ppc": "ppc",
                     "backend": "backend", "pusher": "pusher"})
+    if args.ranks:
+        if args.validate:
+            raise SystemExit(
+                "error: --validate is not supported with --ranks")
+        return _run_dist_app("cabana", cfg, args)
     sim = CabanaSimulation(cfg)
     sim.run()
     if not args.quiet:
@@ -204,6 +268,8 @@ def _run_advec(args) -> int:
 def _run_twod(args) -> int:
     from repro.apps.twod import TwoDConfig, TwoDSheetModel
     cfg = _overlay(TwoDConfig(), args, {"steps": "n_steps"})
+    if args.ranks:
+        return _run_dist_app("twod", cfg, args)
     sim = TwoDSheetModel(cfg)
     sim.run()
     if not args.quiet:
@@ -247,9 +313,9 @@ def _verify_app(app: str, steps: Optional[int], quiet: bool) -> int:
 
 
 def _run_verify(args) -> int:
-    if not args.app and not args.conformance:
-        print("error: verify needs --app and/or --conformance",
-              file=sys.stderr)
+    if not args.app and not args.conformance and not args.dist_conformance:
+        print("error: verify needs --app, --conformance and/or "
+              "--dist-conformance", file=sys.stderr)
         return 2
     status = 0
     if args.app:
@@ -273,6 +339,25 @@ def _run_verify(args) -> int:
             print(f"conformance: {report['cases']} cases x "
                   f"{len(report['backends'])} backend(s) "
                   f"({report['executions']} executions) all match seq")
+    if args.dist_conformance:
+        from repro.verify import (DistConformanceFailure,
+                                  run_dist_conformance)
+        progress = None if args.quiet else print
+        try:
+            report = run_dist_conformance(
+                n_cases=args.cases, seed=args.seed,
+                transport=args.transport, progress=progress,
+                shrink=not args.no_shrink)
+        except DistConformanceFailure as failure:
+            print(f"distributed conformance FAILED:\n{failure}",
+                  file=sys.stderr)
+            return 1
+        if not args.quiet:
+            counts = "/".join(f"{r}-rank"
+                              for r in report["rank_counts"])
+            print(f"distributed conformance: {report['cases']} cases "
+                  f"({counts}) over {report['transport']!r} transport "
+                  "all match the 1-rank oracle")
     return status
 
 

@@ -1,0 +1,219 @@
+"""Launch a distributed app over either rank transport.
+
+:func:`run_distributed` is the single entry point the CLI, the tests and
+the benchmarks share: the same application code
+(:class:`~repro.apps.fempic.distributed.DistributedFemPic`,
+:class:`~repro.apps.cabana.distributed.DistributedCabana`,
+:class:`~repro.apps.twod.distributed.DistributedTwoD`) runs either as an
+in-process simulation (``transport="sim"``) or as N real rank processes
+(``transport="proc"``), each rank free to use any on-node backend
+(``seq``/``vec``/``omp``/``mp`` — the MPI+X matrix).
+
+Under ``proc`` every rank ships its history, its :class:`CommStats`
+ledgers and its per-loop :class:`PerfRecorder` back to the launcher,
+which checks the replicated histories agree and merges the ledgers into
+the same program-level view the simulation produces directly.
+"""
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..perf.timers import PerfRecorder
+from ..runtime.comm import CommStats, SimComm
+from .proc import DEFAULT_MAX_FRAME, DEFAULT_OP_TIMEOUT, ProcCluster
+from .transport import RankFailure, TRANSPORT_KINDS
+
+__all__ = ["run_distributed", "DistResult", "APP_NAMES"]
+
+APP_NAMES = ("fempic", "cabana", "twod")
+
+
+def _build_app(spec: dict, comm):
+    """Instantiate the requested app over ``comm`` (both transports pass
+    through here, so sim and proc runs are the same construction)."""
+    name = spec["app"]
+    config = spec.get("config")
+    if spec.get("backend"):
+        config = dataclasses.replace(config, backend=spec["backend"])
+    if name == "fempic":
+        from ..apps.fempic.distributed import DistributedFemPic
+        return DistributedFemPic(
+            config, comm=comm,
+            partition_method=spec.get("partition_method")
+            or "principal_direction",
+            ranks_per_node=spec.get("ranks_per_node"))
+    if name == "cabana":
+        from ..apps.cabana.distributed import DistributedCabana
+        return DistributedCabana(
+            config, comm=comm,
+            partition_method=spec.get("partition_method")
+            or "principal_direction")
+    if name == "twod":
+        from ..apps.twod.distributed import DistributedTwoD
+        return DistributedTwoD(config, comm=comm)
+    raise ValueError(f"unknown app {name!r}; expected one of "
+                     f"{APP_NAMES}")
+
+
+def _rank_perf(app) -> Dict[int, dict]:
+    """Per-resident-rank loop stats as serializable dicts."""
+    out = {}
+    for r, rk in app._local():
+        ctx = rk["ctx"] if isinstance(rk, dict) else rk.ctx
+        out[r] = ctx.perf.to_dict()
+    return out
+
+
+def _close_backends(app) -> None:
+    """Shut down any rank backend holding OS resources (the mp backend's
+    worker pool) — a rank process that exits without this orphans its
+    workers, and the orphans keep the launcher's pipes open."""
+    for _r, rk in app._local():
+        ctx = rk["ctx"] if isinstance(rk, dict) else rk.ctx
+        close = getattr(ctx.backend, "close", None)
+        if close is not None:
+            close()
+
+
+def _rank_entry(transport, spec: dict) -> dict:
+    """Runs inside every rank process; the return value is the rank's
+    report shipped back through the router."""
+    t0 = time.perf_counter()
+    app = _build_app(spec, transport)
+    if spec.get("seed_ppc"):
+        app.seed_uniform_plasma(int(spec["seed_ppc"]))
+    try:
+        history = app.run(spec.get("n_steps"))
+    finally:
+        _close_backends(app)
+    wall = time.perf_counter() - t0
+    solve_stats = getattr(app, "solve_stats", None)
+    return {"rank": transport.my_rank,
+            "history": history,
+            "stats": transport.stats.to_dict(),
+            "solve_stats": solve_stats.to_dict() if solve_stats
+            is not None else None,
+            "perf": _rank_perf(app),
+            "wall_seconds": wall}
+
+
+@dataclass
+class DistResult:
+    """What a distributed run reports, identically for both transports."""
+
+    app: str
+    nranks: int
+    transport: str
+    history: dict
+    #: program-level PIC traffic (merged across ranks under ``proc``)
+    stats: CommStats
+    #: gathered-field-solve traffic, if the app ledgers it separately
+    solve_stats: Optional[CommStats]
+    #: per-rank loop breakdowns
+    rank_perf: Dict[int, PerfRecorder] = field(default_factory=dict)
+    #: launcher-side wall-clock of the whole run
+    wall_seconds: float = 0.0
+    #: each rank process's own construction+run wall-clock
+    rank_walls: List[float] = field(default_factory=list)
+
+    @property
+    def perf(self) -> PerfRecorder:
+        """Program-level roll-up of every rank's loop stats."""
+        merged = PerfRecorder()
+        for r in sorted(self.rank_perf):
+            merged.merge(self.rank_perf[r])
+        return merged
+
+    def busy_seconds_per_rank(self) -> List[float]:
+        return [self.rank_perf[r].total_seconds if r in self.rank_perf
+                else 0.0 for r in range(self.nranks)]
+
+    @property
+    def critical_path_seconds(self) -> float:
+        """Busy time of the slowest rank — the quantity that shrinks
+        with rank count when the kernels dominate, independently of how
+        many cores the host happens to have."""
+        return max(self.busy_seconds_per_rank())
+
+
+def _histories_agree(a: dict, b: dict) -> bool:
+    if a.keys() != b.keys():
+        return False
+    return all(np.array_equal(np.asarray(a[k]), np.asarray(b[k]))
+               for k in a)
+
+
+def run_distributed(app: str = "fempic", config=None, nranks: int = 2,
+                    transport: str = "sim",
+                    n_steps: Optional[int] = None,
+                    seed_ppc: Optional[int] = None,
+                    backend: Optional[str] = None,
+                    partition_method: Optional[str] = None,
+                    ranks_per_node: Optional[int] = None,
+                    op_timeout: float = DEFAULT_OP_TIMEOUT,
+                    max_frame_bytes: int = DEFAULT_MAX_FRAME
+                    ) -> DistResult:
+    """Run ``app`` on ``nranks`` ranks over the chosen transport."""
+    if transport not in TRANSPORT_KINDS:
+        raise ValueError(f"unknown transport {transport!r}; expected "
+                         f"one of {TRANSPORT_KINDS}")
+    if config is None:
+        raise ValueError("run_distributed needs an app config object")
+    spec = {"app": app, "config": config, "n_steps": n_steps,
+            "seed_ppc": seed_ppc, "backend": backend,
+            "partition_method": partition_method,
+            "ranks_per_node": ranks_per_node}
+
+    t0 = time.perf_counter()
+    if transport == "sim":
+        comm = SimComm(nranks)
+        instance = _build_app(spec, comm)
+        if seed_ppc:
+            instance.seed_uniform_plasma(int(seed_ppc))
+        try:
+            history = instance.run(n_steps)
+        finally:
+            _close_backends(instance)
+        wall = time.perf_counter() - t0
+        solve_stats = getattr(instance, "solve_stats", None)
+        return DistResult(
+            app=app, nranks=nranks, transport=transport,
+            history=history, stats=comm.stats,
+            solve_stats=solve_stats,
+            rank_perf={r: PerfRecorder.from_dict(p)
+                       for r, p in _rank_perf(instance).items()},
+            wall_seconds=wall, rank_walls=[wall] * nranks)
+
+    cluster = ProcCluster(nranks, _rank_entry, args=(spec,),
+                          op_timeout=op_timeout,
+                          max_frame_bytes=max_frame_bytes)
+    payloads = cluster.run()
+    wall = time.perf_counter() - t0
+
+    history = payloads[0]["history"]
+    for p in payloads[1:]:
+        if not _histories_agree(history, p["history"]):
+            raise RankFailure(p["rank"], "protocol",
+                              "replicated histories diverged between "
+                              "ranks — collectives are broken")
+    stats = CommStats(nranks)
+    solve_stats = None
+    rank_perf: Dict[int, PerfRecorder] = {}
+    for p in payloads:
+        stats.merge(CommStats.from_dict(p["stats"]))
+        if p["solve_stats"] is not None:
+            if solve_stats is None:
+                solve_stats = CommStats(nranks)
+            solve_stats.merge(CommStats.from_dict(p["solve_stats"]))
+        for r, rec in p["perf"].items():
+            rank_perf[int(r)] = PerfRecorder.from_dict(rec)
+    return DistResult(
+        app=app, nranks=nranks, transport=transport, history=history,
+        stats=stats, solve_stats=solve_stats, rank_perf=rank_perf,
+        wall_seconds=wall,
+        rank_walls=[p["wall_seconds"] for p in payloads])

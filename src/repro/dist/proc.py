@@ -1,0 +1,584 @@
+"""Real OS rank processes over ``multiprocessing.connection``.
+
+Topology: a parent-process **router** holds one duplex pipe per rank.
+Rank processes never talk to each other directly — every frame goes
+through the router, which forwards point-to-point traffic, completes
+collectives (reducing contributions in rank order, so floating-point
+results match :class:`~repro.runtime.comm.SimComm` bitwise), and turns a
+dying rank into ``RANK_DOWN`` broadcasts instead of a silent hang.
+
+Wire format: each message is one length-prefixed frame —
+
+=======  ======================================================
+header   ``!4sBBiiiq`` = magic ``OPPC``, version, kind, src,
+         dst, tag, body length
+body     ``N`` + dtype/shape + raw bytes for numpy payloads,
+         ``P`` + pickle for control payloads
+=======  ======================================================
+
+Fault model (every path ends in a structured
+:class:`~repro.dist.transport.RankFailure`, never a deadlock):
+
+* peer process exits before completing → router broadcasts
+  ``RANK_DOWN``; blocked ``recv``/collectives raise ``rank-dead``;
+* no frame within ``op_timeout`` seconds → ``timeout``;
+* frame body over ``max_frame_bytes`` → ``oversized-frame``, enforced
+  on the sender before any bytes move and again by the router.
+
+The router writes to children from dedicated writer threads with
+unbounded queues, so its read loop never blocks on a full pipe — the
+cyclic-buffer deadlock (child blocked sending while router blocked
+sending to it) cannot form.
+"""
+from __future__ import annotations
+
+import os
+import pickle
+import queue
+import struct
+import threading
+import time
+import traceback
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import multiprocessing as mp
+from multiprocessing import connection as mpc
+
+import numpy as np
+
+from ..runtime.comm import SimComm
+from .transport import RankFailure
+
+__all__ = ["ProcTransport", "ProcCluster", "FrameError",
+           "encode_frame", "decode_frame",
+           "DEFAULT_OP_TIMEOUT", "DEFAULT_MAX_FRAME"]
+
+_MAGIC = b"OPPC"
+_VERSION = 1
+_HEADER = struct.Struct("!4sBBiiiq")
+
+# frame kinds
+K_HELLO = 0        # child -> router: rank is up
+K_P2P = 1          # payload for another rank (forwarded verbatim)
+K_COLL = 2         # child -> router: collective contribution
+K_COLL_RESULT = 3  # router -> child: completed collective
+K_RESULT = 4       # child -> router: rank finished, body = result
+K_ERROR = 5        # child -> router: rank raised, body = exception
+K_RANK_DOWN = 6    # router -> child: src rank died / was expelled
+
+DEFAULT_OP_TIMEOUT = 30.0
+DEFAULT_MAX_FRAME = 64 * 1024 * 1024
+
+
+class FrameError(ValueError):
+    """A frame violated the wire protocol (bad magic/version/length)."""
+
+
+# -- frame codec -------------------------------------------------------------------
+
+
+def _encode_body(obj) -> bytes:
+    """Numpy arrays travel as dtype+shape+raw bytes (no pickle on the
+    hot path); anything else — control dicts, exceptions — is pickled."""
+    if isinstance(obj, np.ndarray):
+        shape = obj.shape  # ascontiguousarray promotes 0-d to 1-d
+        a = np.ascontiguousarray(obj)
+        meta = pickle.dumps((a.dtype.str, shape))
+        return b"N" + struct.pack("!I", len(meta)) + meta + a.tobytes()
+    return b"P" + pickle.dumps(obj)
+
+
+def _decode_body(body: bytes):
+    if not body:
+        raise FrameError("empty frame body")
+    if body[:1] == b"N":
+        (mlen,) = struct.unpack_from("!I", body, 1)
+        dtype_str, shape = pickle.loads(body[5:5 + mlen])
+        arr = np.frombuffer(body[5 + mlen:], dtype=np.dtype(dtype_str))
+        return arr.reshape(shape).copy()
+    if body[:1] == b"P":
+        return pickle.loads(body[1:])
+    raise FrameError(f"unknown body marker {body[:1]!r}")
+
+
+def encode_frame(kind: int, src: int, dst: int, tag: int, obj,
+                 max_frame_bytes: int = DEFAULT_MAX_FRAME) -> bytes:
+    body = _encode_body(obj)
+    if len(body) > max_frame_bytes:
+        raise RankFailure(src, "oversized-frame",
+                          f"{len(body)} bytes > limit {max_frame_bytes}")
+    return _HEADER.pack(_MAGIC, _VERSION, kind, src, dst, tag,
+                        len(body)) + body
+
+
+def decode_frame(blob: bytes) -> Tuple[int, int, int, int, object]:
+    """Returns ``(kind, src, dst, tag, payload)``."""
+    if len(blob) < _HEADER.size:
+        raise FrameError(f"short frame: {len(blob)} bytes")
+    magic, version, kind, src, dst, tag, blen = _HEADER.unpack_from(blob)
+    if magic != _MAGIC:
+        raise FrameError(f"bad magic {magic!r}")
+    if version != _VERSION:
+        raise FrameError(f"protocol version {version}, expected "
+                         f"{_VERSION}")
+    body = blob[_HEADER.size:]
+    if len(body) != blen:
+        raise FrameError(f"length mismatch: header says {blen}, got "
+                         f"{len(body)}")
+    return kind, src, dst, tag, _decode_body(body)
+
+
+# -- the SPMD transport ------------------------------------------------------------
+
+
+class ProcTransport(SimComm):
+    """One rank process's view of the communicator.
+
+    Inherits the accounting surface (:attr:`stats`, :meth:`swap_stats`)
+    from :class:`SimComm` and replaces locality, point-to-point and
+    collectives with wire operations through the router connection.
+    Every blocking wait honours :attr:`op_timeout`.
+    """
+
+    def __init__(self, nranks: int, my_rank: int, conn,
+                 op_timeout: float = DEFAULT_OP_TIMEOUT,
+                 max_frame_bytes: int = DEFAULT_MAX_FRAME):
+        super().__init__(nranks)
+        if not 0 <= my_rank < nranks:
+            raise ValueError(f"rank {my_rank} out of range")
+        self.my_rank = my_rank
+        self.op_timeout = float(op_timeout)
+        self.max_frame_bytes = int(max_frame_bytes)
+        self._conn = conn
+        #: buffered out-of-order P2P frames: (src, tag) -> deque
+        self._p2p: Dict[Tuple[int, int], deque] = {}
+        self._coll_results: deque = deque()
+        self._dead: Dict[int, str] = {}
+        self._send_raw(K_HELLO, self.my_rank, -1, 0, None)
+
+    # -- locality ------------------------------------------------------------------
+
+    @property
+    def local_ranks(self) -> Tuple[int, ...]:
+        return (self.my_rank,)
+
+    def is_local(self, rank: int) -> bool:
+        return rank == self.my_rank
+
+    # -- wire plumbing -------------------------------------------------------------
+
+    def _send_raw(self, kind: int, src: int, dst: int, tag: int,
+                  obj) -> None:
+        blob = encode_frame(kind, src, dst, tag, obj,
+                            self.max_frame_bytes)
+        try:
+            self._conn.send_bytes(blob)
+        except (BrokenPipeError, OSError) as exc:
+            raise RankFailure(self.my_rank, "rank-dead",
+                              f"router connection lost: {exc}") from exc
+
+    def _pump_one(self, deadline: float, waiting_for: str) -> None:
+        """Receive and file exactly one frame, or raise on deadline."""
+        remaining = deadline - time.monotonic()
+        if remaining <= 0 or not self._conn.poll(remaining):
+            raise RankFailure(self.my_rank, "timeout",
+                              f"no frame within {self.op_timeout:.1f}s "
+                              f"while waiting for {waiting_for}")
+        try:
+            blob = self._conn.recv_bytes(
+                maxlength=self.max_frame_bytes + _HEADER.size + 64)
+        except EOFError as exc:
+            raise RankFailure(self.my_rank, "rank-dead",
+                              "router closed the connection") from exc
+        except OSError as exc:
+            raise RankFailure(self.my_rank, "oversized-frame",
+                              f"incoming frame over "
+                              f"{self.max_frame_bytes} bytes") from exc
+        kind, src, dst, tag, payload = decode_frame(blob)
+        if kind == K_P2P:
+            self._p2p.setdefault((src, tag), deque()).append(payload)
+        elif kind == K_COLL_RESULT:
+            self._coll_results.append(payload)
+        elif kind == K_RANK_DOWN:
+            self._dead[src] = str(payload)
+        else:
+            raise RankFailure(self.my_rank, "protocol",
+                              f"unexpected frame kind {kind}")
+
+    # -- point-to-point ------------------------------------------------------------
+
+    def send(self, src: int, dst: int, payload: np.ndarray,
+             tag: int = 0) -> None:
+        self._check_rank(src)
+        self._check_rank(dst)
+        if src != self.my_rank:
+            raise RankFailure(self.my_rank, "protocol",
+                              f"rank {self.my_rank} cannot send as "
+                              f"rank {src}")
+        if dst in self._dead:
+            raise RankFailure(dst, "rank-dead", self._dead[dst])
+        payload = np.ascontiguousarray(payload)
+        self._send_raw(K_P2P, src, dst, tag, payload)
+        self.stats.record(src, dst, payload.nbytes)
+
+    def recv(self, dst: int, src: int, tag: int = 0) -> np.ndarray:
+        self._check_rank(src)
+        self._check_rank(dst)
+        if dst != self.my_rank:
+            raise RankFailure(self.my_rank, "protocol",
+                              f"rank {self.my_rank} cannot recv as "
+                              f"rank {dst}")
+        key = (src, tag)
+        deadline = time.monotonic() + self.op_timeout
+        while True:
+            q = self._p2p.get(key)
+            if q:
+                return q.popleft()
+            if src in self._dead:
+                raise RankFailure(src, "rank-dead", self._dead[src])
+            self._pump_one(deadline,
+                           f"message from rank {src} tag {tag}")
+
+    # -- collectives ---------------------------------------------------------------
+
+    def _collective(self, request: dict):
+        self._send_raw(K_COLL, self.my_rank, -1, 0, request)
+        deadline = time.monotonic() + self.op_timeout
+        while not self._coll_results:
+            if self._dead:
+                r, why = next(iter(self._dead.items()))
+                raise RankFailure(r, "rank-dead",
+                                  f"peer died inside a collective: "
+                                  f"{why}")
+            self._pump_one(deadline,
+                           f"collective {request.get('op')}")
+        return self._coll_results.popleft()
+
+    def allreduce(self, per_rank_values: Sequence, op: str = "sum"):
+        if len(per_rank_values) != self.nranks:
+            raise ValueError(f"allreduce needs {self.nranks} values, "
+                             f"got {len(per_rank_values)}")
+        self.stats.collectives += 1
+        value = np.asarray(per_rank_values[self.my_rank])
+        return self._collective({"op": "allreduce", "reduce": op,
+                                 "value": value})
+
+    def alltoall_counts(self, counts: np.ndarray) -> np.ndarray:
+        counts = np.asarray(counts)
+        if counts.shape != (self.nranks, self.nranks):
+            raise ValueError("counts must be (nranks, nranks)")
+        self.stats.collectives += 1
+        return self._collective({"op": "alltoall",
+                                 "row": counts[self.my_rank].copy()})
+
+    def barrier(self) -> None:
+        self.stats.collectives += 1
+        self._collective({"op": "barrier"})
+
+    def __repr__(self) -> str:
+        return (f"<ProcTransport rank={self.my_rank}/"
+                f"{self.nranks}>")
+
+
+# -- rank-process entry ------------------------------------------------------------
+
+
+def _child_main(entry, rank: int, nranks: int, pipes, opts: dict,
+                args: tuple) -> None:
+    """Body of every rank process: build the transport, run ``entry``,
+    ship the result (or the exception) back, exit."""
+    # drop inherited pipe ends that belong to the router or to siblings,
+    # so a dying sibling produces a clean EOF at the router
+    for r, (parent_end, child_end) in enumerate(pipes):
+        parent_end.close()
+        if r != rank:
+            child_end.close()
+    conn = pipes[rank][1]
+    try:
+        transport = ProcTransport(nranks, rank, conn, **opts)
+        payload = entry(transport, *args)
+        conn.send_bytes(encode_frame(K_RESULT, rank, -1, 0, payload,
+                                     transport.max_frame_bytes))
+    except BaseException as exc:  # noqa: BLE001 - shipped to the router
+        if not isinstance(exc, RankFailure):
+            # the pickled exception loses its traceback; keep it on the
+            # inherited stderr for post-mortems
+            traceback.print_exc()
+        try:
+            conn.send_bytes(encode_frame(K_ERROR, rank, -1, 0, exc))
+        except Exception:
+            pass
+        conn.close()
+        os._exit(1)
+    conn.close()
+    os._exit(0)
+
+
+# -- the router / cluster ----------------------------------------------------------
+
+
+class _Writer:
+    """Per-child writer thread so the router's read loop never blocks on
+    a full pipe (see module docstring)."""
+
+    def __init__(self, conn):
+        self._conn = conn
+        self._q: queue.Queue = queue.Queue()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self) -> None:
+        while True:
+            blob = self._q.get()
+            if blob is None:
+                return
+            try:
+                self._conn.send_bytes(blob)
+            except (BrokenPipeError, OSError):
+                pass  # receiver died; the read loop will notice the EOF
+
+    def post(self, blob: bytes) -> None:
+        self._q.put(blob)
+
+    def stop(self) -> None:
+        self._q.put(None)
+        self._thread.join(timeout=5.0)
+
+
+class ProcCluster:
+    """Launches ``nranks`` rank processes and routes frames between
+    them until every rank returned a result or failed.
+
+    ``entry(transport, *args)`` runs inside each rank process; its
+    return value (any picklable object) becomes that rank's slot in the
+    list :meth:`run` returns.
+    """
+
+    def __init__(self, nranks: int, entry, args: tuple = (),
+                 op_timeout: float = DEFAULT_OP_TIMEOUT,
+                 max_frame_bytes: int = DEFAULT_MAX_FRAME,
+                 start_method: Optional[str] = None):
+        if nranks < 1:
+            raise ValueError("need at least one rank")
+        self.nranks = int(nranks)
+        self.entry = entry
+        self.args = tuple(args)
+        self.op_timeout = float(op_timeout)
+        self.max_frame_bytes = int(max_frame_bytes)
+        if start_method is None:
+            start_method = ("fork" if "fork"
+                            in mp.get_all_start_methods() else "spawn")
+        self._ctx = mp.get_context(start_method)
+
+    def run(self) -> List[object]:
+        """Launch, route, reap.  Returns per-rank results; raises the
+        root-cause :class:`RankFailure` if any rank failed."""
+        ctx = self._ctx
+        pipes = [ctx.Pipe(duplex=True) for _ in range(self.nranks)]
+        opts = {"op_timeout": self.op_timeout,
+                "max_frame_bytes": self.max_frame_bytes}
+        procs = [ctx.Process(target=_child_main,
+                             args=(self.entry, r, self.nranks, pipes,
+                                   opts, self.args),
+                             name=f"rank-{r}")
+                 for r in range(self.nranks)]
+        for p in procs:
+            p.start()
+        conns = []
+        for parent_end, child_end in pipes:
+            child_end.close()
+            conns.append(parent_end)
+        try:
+            results, errors = self._route(conns)
+        finally:
+            self._reap(procs, conns)
+        if errors:
+            # prefer the root cause: a dead/expelled rank over the
+            # secondary failures its peers raised when they noticed
+            for rank, exc in sorted(errors.items()):
+                if isinstance(exc, RankFailure) \
+                        and exc.kind in ("rank-dead", "oversized-frame") \
+                        and exc.rank == rank:
+                    raise exc
+            rank, exc = sorted(errors.items())[0]
+            if isinstance(exc, RankFailure):
+                raise exc
+            raise RankFailure(rank, "rank-dead",
+                              f"rank raised {exc!r}") from exc
+        return [results[r] for r in range(self.nranks)]
+
+    # -- router --------------------------------------------------------------------
+
+    def _route(self, conns) -> Tuple[Dict[int, object],
+                                     Dict[int, Exception]]:
+        nranks = self.nranks
+        rank_of = {id(c): r for r, c in enumerate(conns)}
+        writers = {r: _Writer(c) for r, c in enumerate(conns)}
+        results: Dict[int, object] = {}
+        errors: Dict[int, Exception] = {}
+        coll_pending: Dict[int, deque] = {r: deque()
+                                          for r in range(nranks)}
+        alive = set(range(nranks))
+        open_ranks = set(range(nranks))
+        try:
+            while open_ranks - set(results) - set(errors):
+                ready = mpc.wait([conns[r] for r in open_ranks],
+                                 timeout=self.op_timeout)
+                if not ready:
+                    stuck = sorted(open_ranks - set(results)
+                                   - set(errors))
+                    raise RankFailure(
+                        stuck[0], "timeout",
+                        f"router saw no traffic for "
+                        f"{self.op_timeout:.1f}s; ranks {stuck} never "
+                        f"completed")
+                for conn in ready:
+                    r = rank_of[id(conn)]
+                    try:
+                        blob = conn.recv_bytes(
+                            maxlength=self.max_frame_bytes
+                            + _HEADER.size + 64)
+                    except EOFError:
+                        open_ranks.discard(r)
+                        if r not in results and r not in errors:
+                            self._expel(r, "process exited without a "
+                                        "result", alive, writers,
+                                        errors)
+                        else:
+                            alive.discard(r)
+                        continue
+                    except OSError:
+                        open_ranks.discard(r)
+                        self._expel(r, "sent a frame over the size "
+                                    "limit", alive, writers, errors,
+                                    kind="oversized-frame")
+                        continue
+                    self._dispatch(r, blob, alive, open_ranks, writers,
+                                   results, errors, coll_pending)
+                self._complete_collectives(alive, results, errors,
+                                           coll_pending, writers)
+        finally:
+            for w in writers.values():
+                w.stop()
+        return results, errors
+
+    def _dispatch(self, r: int, blob: bytes, alive, open_ranks,
+                  writers, results, errors, coll_pending) -> None:
+        try:
+            kind, src, dst, tag, payload = decode_frame(blob)
+        except FrameError as exc:
+            open_ranks.discard(r)
+            self._expel(r, f"protocol violation: {exc}", alive,
+                        writers, errors, kind="protocol")
+            return
+        if kind == K_HELLO:
+            return
+        if kind == K_P2P:
+            if dst in alive:
+                writers[dst].post(blob)
+            return
+        if kind == K_COLL:
+            coll_pending[r].append(payload)
+            return
+        if kind == K_RESULT:
+            results[r] = payload
+            return
+        if kind == K_ERROR:
+            exc = payload if isinstance(payload, BaseException) \
+                else RankFailure(r, "rank-dead", repr(payload))
+            errors[r] = exc
+            alive.discard(r)
+            # fail the peers fast instead of letting them run into
+            # their own timeouts one by one
+            down = encode_frame(K_RANK_DOWN, r, -1, 0,
+                                f"rank failed: {exc}")
+            for peer, w in writers.items():
+                if peer != r and peer in alive:
+                    w.post(down)
+            return
+        open_ranks.discard(r)
+        self._expel(r, f"unexpected frame kind {kind}", alive, writers,
+                    errors, kind="protocol")
+
+    def _expel(self, r: int, why: str, alive, writers, errors,
+               kind: str = "rank-dead") -> None:
+        """Mark a rank failed and tell every survivor so nobody blocks
+        forever waiting for it."""
+        if r in errors:
+            return
+        alive.discard(r)
+        errors[r] = RankFailure(r, kind, why)
+        down = encode_frame(K_RANK_DOWN, r, -1, 0, why)
+        for peer, w in writers.items():
+            if peer != r and peer in alive:
+                w.post(down)
+
+    def _complete_collectives(self, alive, results, errors,
+                              coll_pending, writers) -> None:
+        """Pop one pending contribution per participating rank whenever
+        everyone has posted, reduce in rank order, broadcast."""
+        while True:
+            participants = sorted(r for r in alive if r not in results)
+            if not participants or \
+                    any(not coll_pending[r] for r in participants):
+                return
+            reqs = {r: coll_pending[r].popleft() for r in participants}
+            ops = {req["op"] for req in reqs.values()}
+            if len(ops) > 1:
+                for r in participants:
+                    self._expel(r, f"mismatched collectives {ops}",
+                                alive, writers, errors,
+                                kind="protocol")
+                return
+            op = ops.pop()
+            if op == "allreduce":
+                red = {req["reduce"] for req in reqs.values()}.pop()
+                vals = [np.asarray(reqs[r]["value"])
+                        for r in participants]
+                if red == "sum":
+                    out = sum(vals[1:], vals[0].copy())
+                elif red == "max":
+                    out = vals[0].copy()
+                    for a in vals[1:]:
+                        out = np.maximum(out, a)
+                elif red == "min":
+                    out = vals[0].copy()
+                    for a in vals[1:]:
+                        out = np.minimum(out, a)
+                else:
+                    raise RankFailure(participants[0], "protocol",
+                                      f"unknown reduce {red!r}")
+                out = np.asarray(out)
+            elif op == "alltoall":
+                counts = np.zeros((self.nranks, self.nranks),
+                                  dtype=np.int64)
+                for r in participants:
+                    counts[r] = np.asarray(reqs[r]["row"])
+                out = counts.T.copy()
+            elif op == "barrier":
+                out = np.zeros(0)
+            else:
+                raise RankFailure(participants[0], "protocol",
+                                  f"unknown collective {op!r}")
+            blob = encode_frame(K_COLL_RESULT, -1, -1, 0, out,
+                                self.max_frame_bytes)
+            for r in participants:
+                writers[r].post(blob)
+
+    def _reap(self, procs, conns) -> None:
+        for c in conns:
+            try:
+                c.close()
+            except OSError:
+                pass
+        deadline = time.monotonic() + 5.0
+        for p in procs:
+            p.join(timeout=max(0.1, deadline - time.monotonic()))
+        for p in procs:
+            if p.is_alive():
+                p.terminate()
+                p.join(timeout=2.0)
+            if p.is_alive():  # pragma: no cover - last resort
+                p.kill()
+                p.join(timeout=2.0)

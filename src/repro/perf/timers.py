@@ -51,6 +51,43 @@ class LoopStats:
             return 0.0
         return max(busy) * len(busy) / sum(busy)
 
+    def to_dict(self) -> dict:
+        """JSON/pickle-friendly snapshot (rank processes ship these back
+        to the launcher)."""
+        return {"name": self.name, "calls": self.calls,
+                "n_total": self.n_total, "seconds": self.seconds,
+                "flops": self.flops, "nbytes": self.nbytes,
+                "hops": self.hops, "max_collisions": self.max_collisions,
+                "indirect_inc": self.indirect_inc, "is_move": self.is_move,
+                "extras": dict(self.extras),
+                "worker_seconds": list(self.worker_seconds)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LoopStats":
+        return cls(**payload)
+
+    def merge(self, other: "LoopStats") -> "LoopStats":
+        """Accumulate another recorder's stats for the same loop (used
+        when per-rank breakdowns are folded into a program-level one)."""
+        self.calls += other.calls
+        self.n_total += other.n_total
+        self.seconds += other.seconds
+        self.flops += other.flops
+        self.nbytes += other.nbytes
+        self.hops += other.hops
+        self.max_collisions = max(self.max_collisions,
+                                  other.max_collisions)
+        self.indirect_inc = self.indirect_inc or other.indirect_inc
+        self.is_move = self.is_move or other.is_move
+        if len(self.worker_seconds) < len(other.worker_seconds):
+            self.worker_seconds.extend(
+                [0.0] * (len(other.worker_seconds)
+                         - len(self.worker_seconds)))
+        for i, s in enumerate(other.worker_seconds):
+            self.worker_seconds[i] += float(s)
+        self.extras.update(other.extras)
+        return self
+
 
 class PerfRecorder:
     """Accumulates :class:`LoopStats` keyed by loop name."""
@@ -97,6 +134,26 @@ class PerfRecorder:
 
     def reset(self) -> None:
         self.loops.clear()
+
+    def to_dict(self) -> dict:
+        return {name: st.to_dict() for name, st in self.loops.items()}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PerfRecorder":
+        rec = cls()
+        for name, st in payload.items():
+            rec.loops[name] = LoopStats.from_dict(st)
+        return rec
+
+    def merge(self, other: "PerfRecorder") -> "PerfRecorder":
+        """Fold another recorder in (per-rank → program-level roll-up)."""
+        for name, st in other.loops.items():
+            mine = self.loops.get(name)
+            if mine is None:
+                self.loops[name] = LoopStats.from_dict(st.to_dict())
+            else:
+                mine.merge(st)
+        return self
 
     @property
     def total_seconds(self) -> float:

@@ -6,10 +6,17 @@ in-process ranks; only the wire is replaced by direct buffer copies.  The
 :class:`SimComm` records message counts and bytes per rank pair, which the
 performance model turns into communication time for the weak-scaling and
 utilization reproductions.
+
+:class:`SimComm` is one implementation of the rank-transport interface
+(see :mod:`repro.dist.transport`); ``repro.dist.proc`` provides the other
+one — real OS rank processes over sockets.  The locality API
+(:attr:`SimComm.my_rank` / :meth:`SimComm.local_ranks` /
+:meth:`SimComm.is_local`) lets the same algorithm code drive all ranks
+from one program (simulation) or exactly one rank per process (SPMD).
 """
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -17,7 +24,14 @@ __all__ = ["SimComm", "CommStats"]
 
 
 class CommStats:
-    """Message/byte counters, indexable by (src, dst)."""
+    """Message/byte counters, indexable by (src, dst).
+
+    One ledger serves both execution styles: the simulated communicator
+    counts every rank's traffic in a single instance, while each SPMD
+    rank process counts only the rows it sent — :meth:`merge` folds the
+    per-rank ledgers back into the program-level view, and the result is
+    identical to the simulated ledger for the same algorithm.
+    """
 
     def __init__(self, nranks: int):
         self.nranks = nranks
@@ -49,6 +63,48 @@ class CommStats:
         self.rma_ops = 0
         self.rma_bytes = 0
 
+    def merge(self, other: "CommStats") -> "CommStats":
+        """Fold another rank's ledger into this one (in place).
+
+        Point-to-point and RMA traffic is disjoint between SPMD ranks
+        (each rank records only what it initiated), so those counters
+        add.  Collectives are *operations*, not per-participant events —
+        every rank of a lockstep SPMD program counts each collective
+        once, and the program-level ledger also counts it once — so the
+        merged value is the maximum, not the sum.
+        """
+        if other.nranks != self.nranks:
+            raise ValueError(f"cannot merge stats for {other.nranks} ranks "
+                             f"into stats for {self.nranks}")
+        self.msg_count += other.msg_count
+        self.msg_bytes += other.msg_bytes
+        self.collectives = max(self.collectives, other.collectives)
+        self.rma_ops += other.rma_ops
+        self.rma_bytes += other.rma_bytes
+        return self
+
+    def to_dict(self) -> dict:
+        """JSON/pickle-friendly snapshot (for shipping rank ledgers to
+        the launcher)."""
+        return {"nranks": self.nranks,
+                "msg_count": self.msg_count.tolist(),
+                "msg_bytes": self.msg_bytes.tolist(),
+                "collectives": int(self.collectives),
+                "rma_ops": int(self.rma_ops),
+                "rma_bytes": int(self.rma_bytes)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CommStats":
+        stats = cls(int(payload["nranks"]))
+        stats.msg_count[:] = np.asarray(payload["msg_count"],
+                                        dtype=np.int64)
+        stats.msg_bytes[:] = np.asarray(payload["msg_bytes"],
+                                        dtype=np.int64)
+        stats.collectives = int(payload["collectives"])
+        stats.rma_ops = int(payload["rma_ops"])
+        stats.rma_bytes = int(payload["rma_bytes"])
+        return stats
+
 
 class SimComm:
     """An in-process communicator over ``nranks`` simulated ranks.
@@ -58,6 +114,10 @@ class SimComm:
     counted in :attr:`stats`.
     """
 
+    #: the simulated communicator hosts *all* ranks in one process; SPMD
+    #: transports set this to their single resident rank instead
+    my_rank: Optional[int] = None
+
     def __init__(self, nranks: int):
         if nranks < 1:
             raise ValueError("need at least one rank")
@@ -65,6 +125,21 @@ class SimComm:
         self.stats = CommStats(self.nranks)
         # mailbox[dst][(src, tag)] = payload
         self._mailbox: List[Dict] = [dict() for _ in range(self.nranks)]
+
+    # -- locality ----------------------------------------------------------------
+    #
+    # Algorithm code (halo pushes, migration, the DH mover, the apps)
+    # iterates ``local_ranks`` and guards sends/recvs with ``is_local`` so
+    # the identical code runs under both execution styles: in the
+    # simulation every rank is local, in an SPMD rank process exactly one.
+
+    @property
+    def local_ranks(self) -> range:
+        """Ranks whose data lives in this process (all of them here)."""
+        return range(self.nranks)
+
+    def is_local(self, rank: int) -> bool:
+        return 0 <= rank < self.nranks
 
     # -- point-to-point ----------------------------------------------------------
 

@@ -94,7 +94,7 @@ class DirectHopGlobalMover:
 
         self.cell_window.fence()
         self.rank_window.fence()
-        for r in range(nranks):
+        for r in self.comm.local_ranks:
             pset = psets[r]
             if pset.size == 0:
                 continue
@@ -123,7 +123,7 @@ class DirectHopGlobalMover:
         self.rank_window.fence()
 
         # hole-fill the senders
-        for r in range(nranks):
+        for r in self.comm.local_ranks:
             sent_rows = [rows for (src, _d), (_b, _c, rows)
                          in packed.items() if src == r]
             if sent_rows:
@@ -135,7 +135,7 @@ class DirectHopGlobalMover:
             self.comm.send(r, d, cells, tag=_TAG_DH_CELLS)
 
         received: List[Optional[np.ndarray]] = [None] * nranks
-        for d in range(nranks):
+        for d in self.comm.local_ranks:
             if recv_counts[d].sum() == 0:
                 continue
             start = psets[d].size

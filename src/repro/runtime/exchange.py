@@ -65,7 +65,7 @@ def migrate(comm: SimComm, plan: HaloPlan, meshes: Sequence[RankMesh],
     counts = np.zeros((nranks, nranks), dtype=np.int64)
     packed = {}
 
-    for r in range(nranks):
+    for r in comm.local_ranks:
         res = results[r]
         if res is None or res.n_foreign == 0:
             continue
@@ -80,7 +80,7 @@ def migrate(comm: SimComm, plan: HaloPlan, meshes: Sequence[RankMesh],
                                    dest_cells[sel])
 
     # hole filling: deferred removals + everything packed out
-    for r in range(nranks):
+    for r in comm.local_ranks:
         res = results[r]
         if res is None:
             continue
@@ -95,7 +95,7 @@ def migrate(comm: SimComm, plan: HaloPlan, meshes: Sequence[RankMesh],
         comm.send(r, d, cells, tag=_TAG_CELLS)
 
     received: List[Optional[np.ndarray]] = [None] * nranks
-    for d in range(nranks):
+    for d in comm.local_ranks:
         total = int(recv_counts[d].sum())
         if total == 0:
             continue
@@ -136,7 +136,7 @@ def mpi_particle_move(comm: SimComm, plan: HaloPlan,
 
     for _ in range(max_rounds):
         results: List[Optional[MoveResult]] = [None] * nranks
-        for r in range(nranks):
+        for r in comm.local_ranks:
             if not first and pending[r] is None:
                 continue
             loop = MoveLoop(kernel, name, psets[r], c2c_maps[r],

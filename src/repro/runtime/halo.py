@@ -23,7 +23,8 @@ import numpy as np
 from .comm import SimComm
 
 __all__ = ["RankMesh", "HaloPlan", "build_rank_meshes",
-           "push_cell_halos", "push_node_halos", "reduce_node_halos"]
+           "push_cell_halos", "push_node_halos", "reduce_cell_halos",
+           "reduce_node_halos"]
 
 
 @dataclass
@@ -240,12 +241,14 @@ def reduce_cell_halos(dats: Sequence, plan: HaloPlan, comm: SimComm) -> None:
     for migration.
     """
     for (s, r), (src, dst) in plan.cell_push.items():
-        buf = dats[r].data[dst].copy()
-        comm.send(r, s, buf, tag=4)
-        dats[r].data[dst] = 0.0
+        if comm.is_local(r):
+            buf = dats[r].data[dst].copy()
+            comm.send(r, s, buf, tag=4)
+            dats[r].data[dst] = 0.0
     for (s, r), (src, dst) in plan.cell_push.items():
-        buf = comm.recv(s, r, tag=4)
-        dats[s].data[src] += buf
+        if comm.is_local(s):
+            buf = comm.recv(s, r, tag=4)
+            dats[s].data[src] += buf
 
 
 def reduce_node_halos(dats: Sequence, plan: HaloPlan, comm: SimComm) -> None:
@@ -256,16 +259,25 @@ def reduce_node_halos(dats: Sequence, plan: HaloPlan, comm: SimComm) -> None:
     """
     for (s, r), (src, dst) in plan.node_push.items():
         # ghosts live on r; owner is s — run the list backwards
-        buf = dats[r].data[dst].copy()
-        comm.send(r, s, buf, tag=3)
-        dats[r].data[dst] = 0.0
+        if comm.is_local(r):
+            buf = dats[r].data[dst].copy()
+            comm.send(r, s, buf, tag=3)
+            dats[r].data[dst] = 0.0
     for (s, r), (src, dst) in plan.node_push.items():
-        buf = comm.recv(s, r, tag=3)
-        dats[s].data[src] += buf
+        if comm.is_local(s):
+            buf = comm.recv(s, r, tag=3)
+            dats[s].data[src] += buf
 
 
 def _push(dats: Sequence, lists: Dict, comm: SimComm, tag: int) -> None:
+    # ``dats`` is rank-indexed; under an SPMD transport only the resident
+    # rank's entry is populated, so every access is locality-guarded.
+    # Iteration follows the plan's (deterministic) insertion order on all
+    # ranks, which keeps receive-side application order — and therefore
+    # floating-point results — identical to the simulated execution.
     for (s, r), (src, dst) in lists.items():
-        comm.send(s, r, dats[s].data[src].copy(), tag=tag)
+        if comm.is_local(s):
+            comm.send(s, r, dats[s].data[src].copy(), tag=tag)
     for (s, r), (src, dst) in lists.items():
-        dats[r].data[dst] = comm.recv(r, s, tag=tag)
+        if comm.is_local(r):
+            dats[r].data[dst] = comm.recv(r, s, tag=tag)

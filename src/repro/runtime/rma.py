@@ -36,10 +36,19 @@ class RMAWindow:
                  ranks_per_node: Optional[int] = None):
         self.comm = comm
         self.ranks_per_node = ranks_per_node or comm.nranks
-        n_nodes = -(-comm.nranks // self.ranks_per_node)
+        self.n_nodes = -(-comm.nranks // self.ranks_per_node)
+        self._elem_nbytes = np.asarray(data).nbytes
         # one real backing copy per node (identical content; the point is
-        # the accounted memory footprint and the access semantics)
-        self._copies = [np.array(data) for _ in range(n_nodes)]
+        # the accounted memory footprint and the access semantics).  An
+        # SPMD rank process hosts exactly one rank, so it materialises
+        # only its own node's copy; the simulated communicator hosts all
+        # ranks and backs every node.
+        my_rank = getattr(comm, "my_rank", None)
+        if my_rank is None:
+            self._copies = {node: np.array(data)
+                            for node in range(self.n_nodes)}
+        else:
+            self._copies = {self.node_of(my_rank): np.array(data)}
         self._epoch_open = False
 
     def node_of(self, rank: int) -> int:
@@ -47,8 +56,10 @@ class RMAWindow:
 
     @property
     def nbytes_total(self) -> int:
-        """Total bookkeeping memory across the machine."""
-        return sum(c.nbytes for c in self._copies)
+        """Total bookkeeping memory across the machine (modelled: one
+        copy per shared-memory node, wherever the copies physically
+        live)."""
+        return self.n_nodes * self._elem_nbytes
 
     def fence(self) -> None:
         """Open/close an RMA epoch (collective)."""
@@ -65,11 +76,11 @@ class RMAWindow:
         return out
 
     def put(self, rank: int, indices, values) -> None:
-        """One-sided write (updates every node's copy — windows hold
-        replicated read-mostly data here)."""
+        """One-sided write (updates every resident node copy — windows
+        hold replicated read-mostly data here)."""
         indices = np.asarray(indices)
         values = np.asarray(values)
-        for copy in self._copies:
+        for copy in self._copies.values():
             copy[indices] = values
         self.comm.stats.rma_ops += 1
         self.comm.stats.rma_bytes += values.nbytes
@@ -78,7 +89,7 @@ class RMAWindow:
         """One-sided accumulate (MPI_Accumulate with MPI_SUM)."""
         indices = np.asarray(indices)
         values = np.asarray(values)
-        for copy in self._copies:
+        for copy in self._copies.values():
             np.add.at(copy, indices, values)
         self.comm.stats.rma_ops += 1
         self.comm.stats.rma_bytes += values.nbytes

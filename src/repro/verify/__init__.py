@@ -8,7 +8,11 @@ Two independent correctness nets over the DSL (see ``docs/testing.md``):
   descriptors before they silently corrupt parallel backends;
 * :mod:`repro.verify.conformance` — the differential conformance
   harness: seeded random loop/move programs executed on every backend
-  against the sequential oracle, with greedy case shrinking.
+  against the sequential oracle, with greedy case shrinking;
+* :mod:`repro.verify.dist_conformance` — the distributed-op mode of the
+  harness: the same seeded-program idea partitioned over 2–3 ranks
+  (halo pushes/reductions, migration, the DH global move) and compared
+  against the 1-rank oracle, over either rank transport.
 """
 from .sanitize import (DescriptorViolationError, RecordingView,
                        SanitizerBackend, Violation, install_static_checker,
@@ -16,6 +20,9 @@ from .sanitize import (DescriptorViolationError, RecordingView,
 from .conformance import (Case, ConformanceFailure, compare_states,
                           generate_case, run_case, run_conformance,
                           shrink_case)
+from .dist_conformance import (DistCase, DistConformanceFailure,
+                               generate_dist_case, run_dist_case,
+                               run_dist_conformance, shrink_dist_case)
 
 __all__ = [
     "SanitizerBackend", "Violation", "DescriptorViolationError",
@@ -23,4 +30,6 @@ __all__ = [
     "uninstall_static_checker",
     "Case", "ConformanceFailure", "generate_case", "run_case",
     "compare_states", "shrink_case", "run_conformance",
+    "DistCase", "DistConformanceFailure", "generate_dist_case",
+    "run_dist_case", "shrink_dist_case", "run_dist_conformance",
 ]

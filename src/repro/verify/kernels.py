@@ -15,7 +15,8 @@ from __future__ import annotations
 __all__ = [
     "k_direct_axpy", "k_direct_write", "k_direct_inc", "k_mesh_gather",
     "k_mesh_inc", "k_p2c_gather", "k_p2c_inc", "k_double_deposit",
-    "k_gbl_reduce", "k_walk",
+    "k_gbl_reduce", "k_walk", "k_clamp_inc", "k_clamp_gather",
+    "k_node_gather", "k_walk_geom",
 ]
 
 
@@ -73,6 +74,29 @@ def k_gbl_reduce(w, s, mn, mx):
     mx[0] = max(mx[0], w[1])
 
 
+def k_clamp_inc(w, left, right):
+    """Double-indirect INC into the particle's cell *neighbours* (via a
+    clamp-neighbour cell map composed with p2c) — on a partitioned chain
+    the neighbour of a boundary-owned cell is a halo cell, so this is
+    the op that genuinely exercises the ghost→owner cell reduction."""
+    left[0] += w[0]
+    right[0] += 0.5 * w[1]
+
+
+def k_clamp_gather(left, right, out):
+    """Double-indirect READ of both clamp neighbours — needs valid
+    ghost-cell values, i.e. an owner→ghost push beforehand."""
+    out[0] = out[0] + 0.3 * left[0]
+    out[1] = out[1] - 0.25 * right[0]
+
+
+def k_node_gather(na, out):
+    """Particle-indirect node READ through c2n∘p2c — needs pushed node
+    ghosts."""
+    out[0] = out[0] + 0.2 * na[0]
+    out[1] = out[1] + na[1]
+
+
 def k_walk(move, p, hits):
     """1-D multi-hop walk with per-hop integer deposition and removal.
 
@@ -86,6 +110,23 @@ def k_walk(move, p, hits):
     if p[0] < lo:
         move.move_to(move.c2c[0])
     elif p[0] >= lo + 1.0:
+        move.move_to(move.c2c[1])
+    else:
+        move.done()
+
+
+def k_walk_geom(move, p, lo, hits):
+    """Chain walk with the cell span read from a geometry dat.
+
+    Identical to :func:`k_walk` on an unpartitioned chain, but usable on
+    a partitioned one: local cell ids differ from global ids there, so
+    the span must come from mesh data (gathered through p2c each hop),
+    not from ``move.cell``.
+    """
+    hits[0] += 1
+    if p[0] < lo[0]:
+        move.move_to(move.c2c[0])
+    elif p[0] >= lo[0] + 1.0:
         move.move_to(move.c2c[1])
     else:
         move.done()

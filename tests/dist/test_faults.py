@@ -1,0 +1,107 @@
+"""Fault injection: every failure mode must end in a structured
+RankFailure naming the culprit rank — within the op timeout, never as a
+deadlock."""
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.dist.proc import ProcCluster
+from repro.dist.transport import RankFailure
+
+
+def _entry_dropped_rank(t):
+    """Rank 1 dies mid-program; the others block on it."""
+    if t.my_rank == 1:
+        os._exit(1)
+    if t.my_rank == 0:
+        return t.recv(0, 1, tag=3)  # never arrives
+    t.send(t.my_rank, 0, np.zeros(1), tag=9)
+    return "done"
+
+
+def _entry_slow_rank(t):
+    """Rank 1 oversleeps the op deadline while the rest rendezvous."""
+    if t.my_rank == 1:
+        time.sleep(10.0)
+        return "late"
+    vals = [np.zeros(1)] * t.nranks
+    return t.allreduce(vals, "sum")
+
+
+def _entry_oversized(t):
+    """Rank 0 tries to ship a frame over the negotiated limit."""
+    if t.my_rank == 0:
+        t.send(0, 1, np.zeros(1 << 16), tag=1)  # 512 KiB > 64 KiB cap
+        return "sent"
+    if t.my_rank == 1:
+        return t.recv(1, 0, tag=1)
+    return "idle"
+
+
+def _entry_app_exception(t):
+    if t.my_rank == 2:
+        raise ValueError("boom in user code")
+    vals = [np.zeros(1)] * t.nranks
+    return t.allreduce(vals, "sum")
+
+
+def _entry_collective_vs_death(t):
+    """Peers blocked *inside a collective* when a rank dies must fail
+    fast via the RANK_DOWN broadcast, not wait out the timeout."""
+    if t.my_rank == 0:
+        raise RuntimeError("early exit")
+    vals = [np.zeros(1)] * t.nranks
+    return t.allreduce(vals, "sum")
+
+
+def test_dropped_rank_raises_rank_dead_not_hang():
+    t0 = time.monotonic()
+    with pytest.raises(RankFailure) as exc_info:
+        ProcCluster(3, _entry_dropped_rank, op_timeout=8.0).run()
+    elapsed = time.monotonic() - t0
+    exc = exc_info.value
+    assert exc.kind == "rank-dead"
+    assert exc.rank == 1
+    assert elapsed < 8.0, "death must be detected via EOF, not timeout"
+
+
+def test_slow_rank_hits_op_timeout():
+    t0 = time.monotonic()
+    with pytest.raises(RankFailure) as exc_info:
+        ProcCluster(3, _entry_slow_rank, op_timeout=1.0).run()
+    elapsed = time.monotonic() - t0
+    assert exc_info.value.kind == "timeout"
+    assert elapsed < 8.0, "timeout must fire long before the sleeper wakes"
+
+
+def test_oversized_frame_is_rejected_cleanly():
+    t0 = time.monotonic()
+    with pytest.raises(RankFailure) as exc_info:
+        ProcCluster(2, _entry_oversized, op_timeout=8.0,
+                    max_frame_bytes=64 * 1024).run()
+    elapsed = time.monotonic() - t0
+    exc = exc_info.value
+    assert exc.kind == "oversized-frame"
+    assert exc.rank == 0
+    assert elapsed < 8.0
+
+
+def test_app_exception_surfaces_with_culprit_rank():
+    with pytest.raises(RankFailure) as exc_info:
+        ProcCluster(3, _entry_app_exception, op_timeout=8.0).run()
+    exc = exc_info.value
+    assert exc.rank == 2
+    assert "boom in user code" in str(exc)
+
+
+def test_peers_in_collective_fail_fast_on_rank_death():
+    t0 = time.monotonic()
+    with pytest.raises(RankFailure) as exc_info:
+        ProcCluster(3, _entry_collective_vs_death, op_timeout=30.0).run()
+    elapsed = time.monotonic() - t0
+    assert exc_info.value.rank == 0
+    # with a 30 s timeout, finishing quickly proves the RANK_DOWN
+    # broadcast (not the deadline) unblocked the survivors
+    assert elapsed < 10.0

@@ -1,0 +1,132 @@
+"""ProcTransport semantics over real rank processes: point-to-point
+ordering, collectives bit-identical to SimComm, and CommStats ledgers
+that merge back to exactly the simulated program-level view."""
+import numpy as np
+import pytest
+
+from repro.dist.proc import ProcCluster
+from repro.runtime.comm import CommStats, SimComm
+
+
+def _entry_ring(t):
+    """Ring exchange plus out-of-order tag delivery."""
+    r, n = t.my_rank, t.nranks
+    payload = np.arange(4, dtype=np.float64) + 10 * r
+    t.send(r, (r + 1) % n, payload, tag=7)
+    got = t.recv(r, (r - 1) % n, tag=7)
+    # tag buffering: rank 0 sends tag 5 then 6; rank 1 drains 6 first
+    if r == 0:
+        t.send(0, 1, np.array([5.0]), tag=5)
+        t.send(0, 1, np.array([6.0]), tag=6)
+        first, second = None, None
+    elif r == 1:
+        first = float(t.recv(1, 0, tag=6)[0])
+        second = float(t.recv(1, 0, tag=5)[0])
+    else:
+        first, second = None, None
+    return {"rank": r, "ring": got, "first": first, "second": second,
+            "stats": t.stats.to_dict()}
+
+
+def _entry_collectives(t):
+    r, n = t.my_rank, t.nranks
+    vals = [np.zeros(2) for _ in range(n)]
+    vals[r] = np.array([1.5 * (r + 1), -float(r)])
+    s = t.allreduce(vals, "sum")
+    mn = t.allreduce(vals, "min")
+    mx = t.allreduce(vals, "max")
+    counts = np.zeros((n, n), dtype=np.int64)
+    counts[r] = np.arange(n) + 100 * r
+    a2a = t.alltoall_counts(counts)
+    t.barrier()
+    return {"sum": s, "min": mn, "max": mx, "a2a": a2a,
+            "collectives": t.stats.collectives}
+
+
+def test_ring_and_tag_buffering():
+    n = 3
+    out = ProcCluster(n, _entry_ring).run()
+    for r in range(n):
+        src = (r - 1) % n
+        np.testing.assert_array_equal(
+            out[r]["ring"], np.arange(4, dtype=np.float64) + 10 * src)
+    assert out[1]["first"] == 6.0
+    assert out[1]["second"] == 5.0
+
+
+def test_collectives_match_simcomm_bitwise():
+    n = 3
+    out = ProcCluster(n, _entry_collectives).run()
+
+    sim = SimComm(n)
+    vals = [np.array([1.5 * (r + 1), -float(r)]) for r in range(n)]
+    expect_sum = sim.allreduce(vals, "sum")
+    expect_min = sim.allreduce(vals, "min")
+    expect_max = sim.allreduce(vals, "max")
+    counts = np.stack([np.arange(n) + 100 * r for r in range(n)])
+    expect_a2a = sim.alltoall_counts(counts)
+
+    for r in range(n):
+        np.testing.assert_array_equal(out[r]["sum"], expect_sum)
+        np.testing.assert_array_equal(out[r]["min"], expect_min)
+        np.testing.assert_array_equal(out[r]["max"], expect_max)
+        np.testing.assert_array_equal(out[r]["a2a"], expect_a2a)
+        assert out[r]["collectives"] == 5  # 3 allreduce + a2a + barrier
+
+
+def test_merged_proc_stats_equal_sim_stats():
+    """Each rank ledgers only what it initiated; merged they must equal
+    the simulated ledger for the identical traffic pattern."""
+    n = 3
+    out = ProcCluster(n, _entry_ring).run()
+    merged = CommStats(n)
+    for payload in out:
+        merged.merge(CommStats.from_dict(payload["stats"]))
+
+    sim = SimComm(n)
+    for r in range(n):
+        sim.send(r, (r + 1) % n, np.arange(4, dtype=np.float64) + 10 * r,
+                 tag=7)
+    for r in range(n):
+        sim.recv(r, (r - 1) % n, tag=7)
+    sim.send(0, 1, np.array([5.0]), tag=5)
+    sim.send(0, 1, np.array([6.0]), tag=6)
+    sim.recv(1, 0, tag=6)
+    sim.recv(1, 0, tag=5)
+
+    np.testing.assert_array_equal(merged.msg_count, sim.stats.msg_count)
+    np.testing.assert_array_equal(merged.msg_bytes, sim.stats.msg_bytes)
+    assert merged.collectives == sim.stats.collectives == 0
+
+
+def test_commstats_serde_roundtrip():
+    st = CommStats(2)
+    st.record(0, 1, 128)
+    st.record(1, 0, 64)
+    st.collectives = 3
+    st.rma_ops = 2
+    st.rma_bytes = 96
+    clone = CommStats.from_dict(st.to_dict())
+    np.testing.assert_array_equal(clone.msg_count, st.msg_count)
+    np.testing.assert_array_equal(clone.msg_bytes, st.msg_bytes)
+    assert clone.collectives == 3
+    assert clone.rma_ops == 2 and clone.rma_bytes == 96
+
+
+def test_commstats_merge_semantics():
+    a, b = CommStats(2), CommStats(2)
+    a.record(0, 1, 100)
+    a.collectives = 4
+    a.rma_ops = 1
+    a.rma_bytes = 8
+    b.record(1, 0, 50)
+    b.collectives = 4
+    b.rma_ops = 2
+    b.rma_bytes = 16
+    a.merge(b)
+    assert a.msg_count[0, 1] == 1 and a.msg_count[1, 0] == 1
+    assert a.total_bytes == 150
+    assert a.collectives == 4        # per-op program count: max, not sum
+    assert a.rma_ops == 3 and a.rma_bytes == 24
+    with pytest.raises(ValueError):
+        a.merge(CommStats(3))
