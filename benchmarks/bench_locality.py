@@ -1,0 +1,161 @@
+"""Locality-engine regression gate: sorted segmented deposits vs
+atomics, bitwise conformance, and the fused move+deposit step time.
+
+Three claims the CI gate pins (``BENCH_locality.json``):
+
+1. on a cell-sorted particle set the ``segmented_presorted`` fast path
+   beats the atomics (``np.add.at``) deposit by a healthy margin —
+   the tentpole's reason to exist;
+2. the fast path is *bit-identical* to the sequential oracle on
+   integer-valued data (on general floats ``np.add.reduceat``
+   reassociates segment sums, so exactness-under-integer-data is the
+   strongest machine-checkable form of "same sums, different order");
+3. fusing the FEM-PIC deposit into the move loop reproduces the
+   unfused physics and does not regress the step time.
+
+Script mode (what CI runs)::
+
+    python benchmarks/bench_locality.py --out /tmp/locality.json
+    python benchmarks/check_regression.py BENCH_locality.json \
+        /tmp/locality.json --tolerance 0.25
+"""
+import time
+
+import numpy as np
+
+try:
+    from .common import write_json
+except ImportError:  # executed as a script: benchmarks/ is sys.path[0]
+    from common import write_json
+
+N_PARTS = 120_000
+N_CELLS = 400          # ~300 particles per cell: deep atomic collisions
+DEPOSIT_REPEATS = 5
+
+
+def deposit_kernel(w, acc):
+    acc[0] += w[0]
+    acc[1] += 2.0 * w[0]
+    acc[2] += w[0] * w[0]
+
+
+def build_world(n_parts=N_PARTS, n_cells=N_CELLS, seed=0):
+    from repro.core.api import (decl_dat, decl_map, decl_particle_set,
+                                decl_set, sort_particles_by_cell)
+    rng = np.random.default_rng(seed)
+    cells = decl_set(n_cells)
+    parts = decl_particle_set(cells, n_parts)
+    p2c = decl_map(parts, cells, 1,
+                   rng.integers(0, n_cells, size=(n_parts, 1)))
+    # integer-valued floats: every partial sum is exact, so segment-sum
+    # reassociation cannot show up as a bit difference
+    w = decl_dat(parts, 1, np.float64,
+                 rng.integers(-8, 9, size=n_parts).astype(np.float64))
+    acc = decl_dat(cells, 3, np.float64)
+    sort_particles_by_cell(parts)
+    return parts, p2c, w, acc
+
+
+def timed_deposit(backend_options, repeats=DEPOSIT_REPEATS):
+    """Best-of-N wall time of one sorted deposit loop; returns the
+    final accumulator of the last run for the conformance check."""
+    from repro.core.api import (OPP_INC, OPP_ITERATE_ALL, OPP_READ,
+                                Context, arg_dat, par_loop, push_context)
+    ctx = Context(**backend_options)
+    best = float("inf")
+    with push_context(ctx):
+        parts, p2c, w, acc = build_world()
+        for _ in range(repeats):
+            acc.data[:] = 0.0
+            t0 = time.perf_counter()
+            par_loop(deposit_kernel, "LocalityDeposit", parts,
+                     OPP_ITERATE_ALL, arg_dat(w, OPP_READ),
+                     arg_dat(acc, p2c, OPP_INC))
+            best = min(best, time.perf_counter() - t0)
+    return best, acc.data.copy()
+
+
+def timed_fempic(fused: bool, steps: int = 6):
+    from repro.apps.fempic import FemPicConfig, FemPicSimulation
+    cfg = FemPicConfig(nx=2, ny=2, nz=6, n_steps=steps, dt=0.3,
+                       plasma_den=2e3, n0=2e3, backend="vec",
+                       move_strategy="dh", fuse_move=fused)
+    cell_volume = (cfg.lx * cfg.ly * cfg.lz) / cfg.n_cells
+    cfg = cfg.scaled(spwt=cfg.n0 * cell_volume / 150)
+    sim = FemPicSimulation(cfg)
+    sim.seed_uniform_plasma(150)
+    t0 = time.perf_counter()
+    sim.run()
+    return time.perf_counter() - t0, sim
+
+
+def locality_payload() -> dict:
+    # the oracle: elemental seq execution, strict left-to-right order
+    _, acc_seq = timed_deposit({"backend": "seq"}, repeats=1)
+    # atomics slow path (np.add.at) vs the sorted fast path, identical
+    # sorted particle state in both
+    t_atomics, acc_atomics = timed_deposit(
+        {"backend": "vec", "strategy": "atomics"})
+    t_sorted, acc_sorted = timed_deposit(
+        {"backend": "vec", "locality": "always"})
+
+    t_plain, plain = timed_fempic(fused=False)
+    t_fused, fused = timed_fempic(fused=True)
+    fused_ok = plain.parts.size == fused.parts.size and all(
+        np.allclose(getattr(fused, a).data, getattr(plain, a).data,
+                    rtol=1e-9, atol=1e-18)
+        for a in ("phi", "ncd", "nw", "ef", "pos", "vel", "lc"))
+
+    return {
+        "bench": "locality",
+        "config": {"n_parts": N_PARTS, "n_cells": N_CELLS,
+                   "deposit_repeats": DEPOSIT_REPEATS,
+                   "fempic_steps": 6, "fempic_ppc": 150},
+        "seconds": {
+            "deposit_atomics": t_atomics,
+            "deposit_sorted": t_sorted,
+            "fempic_step_unfused": t_plain,
+            "fempic_step_fused": t_fused,
+        },
+        "metrics": {
+            "speedup_sorted_deposit_vs_atomics": t_atomics / t_sorted,
+            "bit_equal_presorted":
+                bool(np.array_equal(acc_sorted, acc_seq)
+                     and np.array_equal(acc_atomics, acc_seq)),
+            "allclose_fused_vs_unfused": fused_ok,
+            "fused_move_step_speedup": t_plain / t_fused,
+            "n_particles_final": int(fused.parts.size),
+        },
+        #: metrics check_regression.py gates on (direction-aware)
+        "gates": [
+            {"metric": "speedup_sorted_deposit_vs_atomics",
+             "direction": "higher"},
+            {"metric": "bit_equal_presorted", "direction": "bool"},
+            {"metric": "allclose_fused_vs_unfused", "direction": "bool"},
+            {"metric": "fused_move_step_speedup", "direction": "higher"},
+        ],
+    }
+
+
+def main(argv=None) -> int:
+    import argparse
+    parser = argparse.ArgumentParser(
+        description="locality-engine smoke benchmark (JSON payload)")
+    parser.add_argument("--out", default=None,
+                        help="write payload to this path "
+                             "(default results/locality.json)")
+    args = parser.parse_args(argv)
+    payload = locality_payload()
+    path = write_json("locality", payload, out=args.out)
+    m = payload["metrics"]
+    print(f"wrote {path}")
+    print(f"  sorted-deposit speedup vs atomics: "
+          f"{m['speedup_sorted_deposit_vs_atomics']:.2f}x")
+    print(f"  bit-equal (integer data): {m['bit_equal_presorted']}")
+    print(f"  fused == unfused physics: {m['allclose_fused_vs_unfused']}")
+    print(f"  fused step speedup: {m['fused_move_step_speedup']:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

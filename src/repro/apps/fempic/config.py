@@ -53,6 +53,9 @@ class FemPicConfig:
     move_strategy: str = "mh"       # "mh" | "dh"
     overlay_bins: int = 16          # DH overlay resolution per axis
     move_tolerance: float = 1e-12
+    #: fuse the charge deposit into the particle move (one pass over
+    #: particle state per step instead of two)
+    fuse_move: bool = False
 
     @property
     def n_cells(self) -> int:

@@ -225,25 +225,40 @@ class FemPicSimulation:
                  arg_dat(self.pos, OPP_RW),
                  arg_dat(self.vel, OPP_RW))
 
+    def _deposit_args(self):
+        return (arg_dat(self.lc, OPP_READ),
+                arg_dat(self.nw, 0, self.c2n, self.p2c, OPP_INC),
+                arg_dat(self.nw, 1, self.c2n, self.p2c, OPP_INC),
+                arg_dat(self.nw, 2, self.c2n, self.p2c, OPP_INC),
+                arg_dat(self.nw, 3, self.c2n, self.p2c, OPP_INC))
+
     def move(self):
         if self.overlay is not None:
             direct_hop_assign(self.overlay, self.parts, self.pos, self.p2c)
+        fused = {}
+        if self.cfg.fuse_move:
+            # the deposit lands inside the move, so the accumulator must
+            # be reset *before* particles start settling
+            par_loop(k.reset_node_charge_kernel, "ResetNodeCharge",
+                     self.nodes, OPP_ITERATE_ALL,
+                     arg_dat(self.nw, OPP_WRITE))
+            fused = {"deposit_kernel": k.deposit_charge_kernel,
+                     "deposit_args": self._deposit_args(),
+                     "deposit_when": "done"}
         return particle_move(k.move_kernel, "Move", self.parts, self.c2c,
                              self.p2c,
                              arg_dat(self.pos, OPP_READ),
                              arg_dat(self.lc, OPP_WRITE),
-                             arg_dat(self.xform, self.p2c, OPP_READ))
+                             arg_dat(self.xform, self.p2c, OPP_READ),
+                             **fused)
 
     def deposit(self) -> None:
-        par_loop(k.reset_node_charge_kernel, "ResetNodeCharge", self.nodes,
-                 OPP_ITERATE_ALL, arg_dat(self.nw, OPP_WRITE))
-        par_loop(k.deposit_charge_kernel, "DepositCharge", self.parts,
-                 OPP_ITERATE_ALL,
-                 arg_dat(self.lc, OPP_READ),
-                 arg_dat(self.nw, 0, self.c2n, self.p2c, OPP_INC),
-                 arg_dat(self.nw, 1, self.c2n, self.p2c, OPP_INC),
-                 arg_dat(self.nw, 2, self.c2n, self.p2c, OPP_INC),
-                 arg_dat(self.nw, 3, self.c2n, self.p2c, OPP_INC))
+        if not self.cfg.fuse_move:
+            par_loop(k.reset_node_charge_kernel, "ResetNodeCharge",
+                     self.nodes, OPP_ITERATE_ALL,
+                     arg_dat(self.nw, OPP_WRITE))
+            par_loop(k.deposit_charge_kernel, "DepositCharge", self.parts,
+                     OPP_ITERATE_ALL, *self._deposit_args())
         par_loop(k.compute_node_charge_density_kernel,
                  "ComputeNodeChargeDensity", self.nodes, OPP_ITERATE_ALL,
                  arg_dat(self.ncd, OPP_WRITE),

@@ -1,0 +1,105 @@
+"""The particle-locality autotuner.
+
+Cell-sorting particles makes indirect particle→cell gathers contiguous
+and lets ``OPP_INC`` deposits run as pre-sorted segmented reductions —
+but a full sort is O(n log n) and a move un-sorts the set again.  The
+autotuner amortises that trade from *measured* costs: it keeps
+exponentially-weighted per-particle cost estimates of
+
+* one sort (``sort_pp``),
+* a particle loop on the sorted fast path (``fast_pp``),
+* the same work on the unsorted path (``slow_pp``),
+
+plus an estimate of how many particle loops run between sorts
+(``loops_between_sorts``, i.e. how long a sort's benefit lives before a
+move dirties the order).  A sort is worth it when
+
+    (slow_pp - fast_pp) · n · loops_between_sorts  >  sort_pp · n
+
+Until both sides have been measured the tuner sorts optimistically —
+that is also what primes the estimates.  Modes: ``never`` (locality
+engine off — the default, keeping every existing code path bit-stable),
+``always`` (sort whenever the order is invalid) and ``auto``.
+"""
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["LocalityAutotuner"]
+
+_MODES = ("never", "auto", "always")
+
+
+def _ewma(old: Optional[float], new: float, alpha: float) -> float:
+    return new if old is None else alpha * new + (1.0 - alpha) * old
+
+
+class LocalityAutotuner:
+    """Decides when re-sorting a particle set pays for itself."""
+
+    def __init__(self, mode: str = "never", alpha: float = 0.5,
+                 min_particles: int = 64):
+        if mode not in _MODES:
+            raise ValueError(f"unknown locality mode {mode!r}; "
+                             f"available: {_MODES}")
+        self.mode = mode
+        self.alpha = float(alpha)
+        #: below this size the bookkeeping outweighs any win
+        self.min_particles = int(min_particles)
+        self.sort_pp: Optional[float] = None
+        self.fast_pp: Optional[float] = None
+        self.slow_pp: Optional[float] = None
+        self.loops_between_sorts = 1.0
+        self._loops_since_sort = 0
+        self.n_sorts = 0
+        self.n_skips = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.mode != "never"
+
+    # -- measurements ---------------------------------------------------------
+
+    def note_sort(self, n: int, seconds: float) -> None:
+        if n > 0:
+            self.sort_pp = _ewma(self.sort_pp, seconds / n, self.alpha)
+        if self.n_sorts > 0:
+            self.loops_between_sorts = _ewma(
+                self.loops_between_sorts,
+                float(max(self._loops_since_sort, 1)), self.alpha)
+        self._loops_since_sort = 0
+        self.n_sorts += 1
+
+    def note_loop(self, n: int, seconds: float, fast: bool) -> None:
+        if n <= 0:
+            return
+        pp = seconds / n
+        if fast:
+            self.fast_pp = _ewma(self.fast_pp, pp, self.alpha)
+        else:
+            self.slow_pp = _ewma(self.slow_pp, pp, self.alpha)
+        self._loops_since_sort += 1
+
+    # -- the policy -----------------------------------------------------------
+
+    def should_sort(self, n: int) -> bool:
+        if not self.enabled or n < self.min_particles:
+            return False
+        if self.mode == "always":
+            return True
+        if self.sort_pp is None or self.slow_pp is None:
+            return True      # optimistic bootstrap: sort once and measure
+        fast_pp = self.fast_pp if self.fast_pp is not None else 0.0
+        gain = max(self.slow_pp - fast_pp, 0.0) * n \
+            * max(self.loops_between_sorts, 1.0)
+        cost = self.sort_pp * n
+        if gain > cost:
+            return True
+        self.n_skips += 1
+        return False
+
+    def __repr__(self) -> str:
+        fmt = (lambda v: "?" if v is None else f"{v:.3g}")
+        return (f"<LocalityAutotuner {self.mode} sort_pp={fmt(self.sort_pp)} "
+                f"fast_pp={fmt(self.fast_pp)} slow_pp={fmt(self.slow_pp)} "
+                f"sorts={self.n_sorts} skips={self.n_skips}>")

@@ -186,13 +186,57 @@ def _run_parloop_chunk(msg: dict, attached: dict) -> dict:
             else:
                 data[lo:hi] = buf
             continue
-        # indirect INC → this worker's private scatter array
-        scatter = scatters[d["scatter_group"]][: d["live"]]
-        np.add.at(scatter, rows, buf)
+        if d.get("shared_inc"):
+            # segment decomposition: this worker's particles cover whole
+            # cells, so its p2c target rows are disjoint from every other
+            # worker's — increment the shared dat directly, no merge
+            np.add.at(data, rows, buf)
+        else:
+            # indirect INC → this worker's private scatter array
+            scatter = scatters[d["scatter_group"]][: d["live"]]
+            np.add.at(scatter, rows, buf)
         if rows.size:
             max_coll = max(max_coll, int(np.bincount(rows).max()))
     return {"globals": globals_out, "collisions": max_coll,
             "kernel_seconds": kernel_seconds}
+
+
+def _run_move_deposit(dep: dict, gen, attached: dict, scatters: List,
+                      dpart: np.ndarray, dcells: np.ndarray) -> int:
+    """One fused-deposit round inside a worker's move chunk."""
+    params: List[np.ndarray] = []
+    writeback = []
+    for d in dep["args"]:
+        if d["role"] == "gbl":
+            params.append(d["data"].reshape(1, -1))
+            continue
+        data = _attach(attached, d["dat"])[: d["live"]]
+        rows = _arg_rows(attached, d, dpart, dcells)
+        if rows is None:
+            rows = dpart
+        if d["access"] in ("READ", "RW"):
+            buf = data[rows]
+        else:
+            buf = np.zeros((dpart.size, d["dim"]), dtype=data.dtype)
+        params.append(buf)
+        if d["access"] != "READ":
+            writeback.append((d, buf, rows))
+    with np.errstate(invalid="ignore", divide="ignore", over="ignore"):
+        gen.fn(*params)
+    max_coll = 0
+    for d, buf, rows in writeback:
+        data = _attach(attached, d["dat"])[: d["live"]]
+        if d["access"] == "INC":
+            if d["kind"] == ArgKind.DIRECT:
+                data[rows] += buf       # particle rows are unique
+            else:
+                scatter = scatters[d["scatter_group"]][: d["live"]]
+                np.add.at(scatter, rows, buf)
+                if rows.size:
+                    max_coll = max(max_coll, int(np.bincount(rows).max()))
+        else:
+            data[rows] = buf
+    return max_coll
 
 
 def _run_move_chunk(msg: dict, attached: dict) -> dict:
@@ -212,12 +256,16 @@ def _run_move_chunk(msg: dict, attached: dict) -> dict:
     active = idx[alive]
     cells = p2c[active].copy()
 
+    dep = msg.get("deposit")
+    dep_gen = _worker_kernel(dep["kernel"]) if dep is not None else None
+
     removed_parts: List[np.ndarray] = []
     foreign_parts: List[np.ndarray] = []
     foreign_cells: List[np.ndarray] = []
     total_hops = 0
     max_coll = 0
     hop = 0
+    relocated = 0
     kernel_seconds = 0.0
 
     while active.size:
@@ -280,6 +328,18 @@ def _run_move_chunk(msg: dict, attached: dict) -> dict:
         done = status == 0
         gone = status == 2
         moving = status == 1
+        if hop == 0:
+            relocated = (int(np.count_nonzero(moving))
+                         + int(np.count_nonzero(gone)))
+        if dep_gen is not None:
+            if dep["when"] == "hop":
+                dpart, dcells = active, cells
+            else:                       # "done": settled this round
+                dpart, dcells = active[done], cells[done]
+            if dpart.size:
+                coll = _run_move_deposit(dep, dep_gen, attached, scatters,
+                                         dpart, dcells)
+                max_coll = max(max_coll, coll)
         p2c[active[done]] = cells[done]
         if gone.any():
             dead = active[gone]
@@ -297,6 +357,7 @@ def _run_move_chunk(msg: dict, attached: dict) -> dict:
             "foreign_particles": _cat(foreign_parts),
             "foreign_cells": _cat(foreign_cells),
             "hops": total_hops, "collisions": max_coll,
+            "relocated": relocated,
             "kernel_seconds": kernel_seconds}
 
 
@@ -478,12 +539,17 @@ class MpBackend(VecBackend):
 
     def __init__(self, nworkers: Optional[int] = None,
                  strategy: str = "atomics", min_chunk: int = 512,
+                 small_chunk: int = 24,
                  start_method: Optional[str] = None, **strategy_options):
         super().__init__(strategy=strategy, **strategy_options)
         if nworkers is None:
             nworkers = min(4, os.cpu_count() or 1)
         self.nworkers = max(int(nworkers), 1)
         self.min_chunk = max(int(min_chunk), 1)
+        #: chunk floor for *small direct* loops (no indirect-INC args):
+        #: dispatch overhead is just the task round-trip, so loops far
+        #: below ``min_chunk`` still parallelise instead of degrading
+        self.small_chunk = max(int(small_chunk), 1)
         self.start_method = start_method
         self._pool: Optional[_Pool] = None
         self._arena: Optional[_Arena] = None
@@ -492,7 +558,10 @@ class MpBackend(VecBackend):
         self._unresolvable: set = set()
         #: counters exposed for tests / diagnostics
         self.stats = {"parallel_loops": 0, "fallback_loops": 0,
-                      "parallel_moves": 0, "fallback_moves": 0}
+                      "parallel_moves": 0, "fallback_moves": 0,
+                      "small_parallel_loops": 0, "segment_loops": 0}
+        #: loop name -> why it last degraded to the vec path
+        self.fallback_reasons: Dict[str, str] = {}
 
     # -- pool / arena lifecycle ------------------------------------------------
 
@@ -536,9 +605,13 @@ class MpBackend(VecBackend):
 
     # -- chunking --------------------------------------------------------------
 
-    def _chunks(self, start: int, end: int) -> List[Tuple[int, int]]:
+    def _chunks(self, start: int, end: int,
+                small_ok: bool = False) -> List[Tuple[int, int]]:
         n = end - start
-        nchunks = min(self.nworkers, max(n // self.min_chunk, 1))
+        min_chunk = self.min_chunk
+        if small_ok and n < 2 * min_chunk:
+            min_chunk = min(min_chunk, self.small_chunk)
+        nchunks = min(self.nworkers, max(n // min_chunk, 1))
         if nchunks < 2:
             return []
         per = -(-n // nchunks)                       # ceil
@@ -552,48 +625,89 @@ class MpBackend(VecBackend):
             lo = hi
         return bounds
 
+    def _segment_chunks(self, loop: ParLoop) -> Optional[List[Tuple[int,
+                                                                    int]]]:
+        """Chunk a cell-sorted particle loop on cell-segment boundaries.
+
+        Each worker then owns *whole cells*: its particle→cell ``OPP_INC``
+        target rows are disjoint from every other worker's, so those
+        increments go straight into the shared dat (no private scatter
+        arrays, no merge pass).
+        """
+        pset = loop.iterset
+        if not (pset.is_particle_set and pset.p2c_map is not None
+                and loop.start == 0 and loop.end == pset.size):
+            return None
+        if not pset.order.is_valid():
+            return None
+        n = pset.size
+        nchunks = min(self.nworkers, max(n // self.min_chunk, 1))
+        if nchunks < 2:
+            return None
+        _counts, offsets, _nonempty, _starts = self.plan.segments(pset)
+        ideal = np.linspace(0, n, nchunks + 1)[1:-1]
+        cuts = offsets[np.searchsorted(offsets, ideal)]
+        bounds_at = np.unique(np.concatenate(([0], cuts, [n])))
+        if bounds_at.size < 3:          # snapped down to a single chunk
+            return None
+        return list(zip(bounds_at[:-1].tolist(), bounds_at[1:].tolist()))
+
     # -- opp_par_loop ----------------------------------------------------------
 
-    def _kernel_ref_for(self, loop) -> Optional[Tuple[str, str]]:
-        ref = kernel_ref(loop.kernel.fn)
-        if ref is None or ref in self._unresolvable:
-            return None
-        return ref
-
     def execute(self, loop: ParLoop) -> Optional[dict]:
-        plan = self._plan_parloop(loop)
+        plan, reason = self._plan_parloop(loop)
         if plan is None:
-            self.stats["fallback_loops"] += 1
-            extras = super().execute(loop) or {}
-            extras.setdefault("mp_fallback", True)
-            return extras
+            return self._fallback_parloop(loop, reason)
         try:
             return self._execute_parloop(loop, *plan)
         except _UnresolvableOnWorkers:
             self._unresolvable.add(kernel_ref(loop.kernel.fn))
-            self.stats["fallback_loops"] += 1
-            extras = super().execute(loop) or {}
-            extras.setdefault("mp_fallback", True)
-            return extras
+            return self._fallback_parloop(loop, "kernel-unresolvable")
+
+    def _fallback_parloop(self, loop: ParLoop, reason: str) -> dict:
+        self.stats["fallback_loops"] += 1
+        self.fallback_reasons[loop.name] = reason
+        extras = super().execute(loop) or {}
+        extras.setdefault("mp_fallback", True)
+        extras.setdefault("mp_fallback_reason", reason)
+        return extras
 
     def _plan_parloop(self, loop: ParLoop):
         if loop.n_iter == 0:
-            return None
-        ref = self._kernel_ref_for(loop)
+            return None, "empty"
+        ref = kernel_ref(loop.kernel.fn)
         if ref is None:
-            return None
+            return None, "kernel-unref"
+        if ref in self._unresolvable:
+            return None, "kernel-unresolvable"
         if not loop.kernel.generated("vec").vectorized:
-            return None
+            return None, "not-vectorized"
+        has_indirect_inc = False
         for a in loop.args:
             if a.is_indirect and a.access in (AccessMode.WRITE,
                                               AccessMode.RW):
-                return None     # cross-worker races; vec handles it
-        chunks = self._chunks(loop.start, loop.end)
-        if not chunks or not self._ensure_pool():
-            return None
-        return (ref, chunks)
+                return None, "indirect-write"   # cross-worker races
+            if a.is_indirect and a.access is AccessMode.INC:
+                has_indirect_inc = True
+        decomp = "block"
+        small = False
+        chunks = self._segment_chunks(loop)
+        if chunks:
+            decomp = "segment"
+        else:
+            # loops without indirect-INC scatters are cheap to dispatch:
+            # let small direct mesh loops parallelise instead of degrading
+            small = (not has_indirect_inc
+                     and loop.n_iter < 2 * self.min_chunk)
+            chunks = self._chunks(loop.start, loop.end, small_ok=small)
+        if not chunks:
+            return None, f"tiny(n={loop.n_iter})"
+        if not self._ensure_pool():
+            return None, "no-pool"
+        return (ref, chunks, decomp, small), None
 
-    def _execute_parloop(self, loop: ParLoop, ref, chunks) -> dict:
+    def _execute_parloop(self, loop: ParLoop, ref, chunks,
+                         decomp: str = "block", small: bool = False) -> dict:
         arena = self._arena
         const = CONST.snapshot()
         nchunks = len(chunks)
@@ -620,11 +734,16 @@ class MpBackend(VecBackend):
                 d["p2c"] = arena.share(a.p2c)
                 d["p2c_live"] = a.p2c.from_set.size
             if a.is_indirect and a.access is AccessMode.INC:
-                g = group_of.get(id(a.dat))
-                if g is None:
-                    g = group_of[id(a.dat)] = len(groups)
-                    groups.append(a.dat)
-                d["scatter_group"] = g
+                if decomp == "segment" and a.kind == ArgKind.P2C:
+                    # segment chunks own whole cells → p2c target rows
+                    # are worker-disjoint; increment the shared dat
+                    d["shared_inc"] = True
+                else:
+                    g = group_of.get(id(a.dat))
+                    if g is None:
+                        g = group_of[id(a.dat)] = len(groups)
+                        groups.append(a.dat)
+                    d["scatter_group"] = g
             descs.append(d)
 
         for w, (lo, hi) in enumerate(chunks):
@@ -656,62 +775,88 @@ class MpBackend(VecBackend):
                 np.maximum(a.dat.data, stack.max(axis=0), out=a.dat.data)
 
         self.stats["parallel_loops"] += 1
+        if small:
+            self.stats["small_parallel_loops"] += 1
+        if decomp == "segment":
+            self.stats["segment_loops"] += 1
         worker_seconds = [0.0] * nchunks
         for r in results:
             worker_seconds[r["worker"]] = r["seconds"]
         return {"collisions": max(r["collisions"] for r in results),
-                "strategy": "scatter_arrays",
+                "strategy": ("shared_segments" if decomp == "segment"
+                             else "scatter_arrays"),
+                "decomposition": decomp,
                 "nworkers": nchunks,
                 "worker_seconds": worker_seconds}
 
     # -- opp_particle_move -----------------------------------------------------
 
     def execute_move(self, loop: MoveLoop) -> MoveResult:
-        plan = self._plan_move(loop)
+        plan, reason = self._plan_move(loop)
         if plan is None:
-            self.stats["fallback_moves"] += 1
-            return super().execute_move(loop)
+            return self._fallback_move(loop, reason)
         try:
             return self._execute_move(loop, *plan)
         except _UnresolvableOnWorkers:
             self._unresolvable.add(kernel_ref(loop.kernel.fn))
-            self.stats["fallback_moves"] += 1
-            return super().execute_move(loop)
+            return self._fallback_move(loop, "kernel-unresolvable")
+
+    def _fallback_move(self, loop: MoveLoop, reason: str) -> MoveResult:
+        self.stats["fallback_moves"] += 1
+        self.fallback_reasons[loop.name] = reason
+        result = super().execute_move(loop)
+        result.extras.setdefault("mp_fallback", True)
+        result.extras.setdefault("mp_fallback_reason", reason)
+        return result
 
     def _plan_move(self, loop: MoveLoop):
-        if loop.only_indices is not None or loop.pset.size == 0:
-            return None
-        ref = self._kernel_ref_for(loop)
+        if loop.only_indices is not None:
+            return None, "resume-subset"
+        if loop.pset.size == 0:
+            return None, "empty"
+        ref = kernel_ref(loop.kernel.fn)
         if ref is None:
-            return None
+            return None, "kernel-unref"
+        if ref in self._unresolvable:
+            return None, "kernel-unresolvable"
         gen = loop.kernel.generated("vec")
-        if not gen.vectorized or not gen.is_move:
-            return None
+        if not gen.vectorized:
+            return None, "not-vectorized"
+        if not gen.is_move:
+            return None, "non-move-kernel"
         for a in loop.args:
             if a.is_indirect and a.access in (AccessMode.WRITE,
                                               AccessMode.RW):
-                return None
+                return None, "indirect-write"
             if a.is_global and a.access is not AccessMode.READ:
-                return None
+                return None, "global-reduction"
+        dep = loop.deposit
+        dep_ref = None
+        if dep is not None:
+            dep_ref = kernel_ref(dep.kernel.fn)
+            if dep_ref is None or dep_ref in self._unresolvable \
+                    or not dep.kernel.generated("vec").vectorized:
+                return None, "deposit-kernel"
         chunks = self._chunks(0, loop.pset.size)
-        if not chunks or not self._ensure_pool():
-            return None
-        return (ref, chunks)
+        if not chunks:
+            return None, f"tiny(n={loop.pset.size})"
+        if not self._ensure_pool():
+            return None, "no-pool"
+        return (ref, chunks, dep_ref), None
 
-    def _execute_move(self, loop: MoveLoop, ref, chunks) -> MoveResult:
+    def _execute_move(self, loop: MoveLoop, ref, chunks,
+                      dep_ref=None) -> MoveResult:
         arena = self._arena
         const = CONST.snapshot()
         nchunks = len(chunks)
 
         groups: List = []
         group_of: Dict[int, int] = {}
-        descs = []
-        for a in loop.args:
+
+        def mk_desc(a) -> dict:
             if a.is_global:
-                descs.append({"role": "gbl", "access": "READ",
-                              "dim": a.dat.dim,
-                              "data": np.array(a.dat.data)})
-                continue
+                return {"role": "gbl", "access": "READ",
+                        "dim": a.dat.dim, "data": np.array(a.dat.data)}
             d = {"role": "dat", "kind": a.kind, "access": a.access.name,
                  "dim": a.dat.dim, "dat": arena.share(a.dat),
                  "live": a.dat.set.size}
@@ -728,7 +873,15 @@ class MpBackend(VecBackend):
                     g = group_of[id(a.dat)] = len(groups)
                     groups.append(a.dat)
                 d["scatter_group"] = g
-            descs.append(d)
+            return d
+
+        descs = [mk_desc(a) for a in loop.args]
+        dep_msg = None
+        if dep_ref is not None:
+            # deposit INC targets share the same per-worker scatter
+            # arrays (group numbering continues across both arg lists)
+            dep_msg = {"kernel": dep_ref, "when": loop.deposit.when,
+                       "args": [mk_desc(a) for a in loop.deposit.args]}
 
         p2c_spec = arena.share(loop.p2c_map)
         c2c_spec = arena.share(loop.c2c_map)
@@ -737,6 +890,7 @@ class MpBackend(VecBackend):
             self._pool.submit(w, {
                 "kind": "move", "kernel": ref, "const": const,
                 "lo": lo, "hi": hi, "args": descs,
+                "deposit": dep_msg,
                 "p2c": p2c_spec, "p2c_live": loop.pset.size,
                 "c2c": c2c_spec, "c2c_live": loop.c2c_map.from_set.size,
                 "foreign": (None if foreign is None else np.array(foreign)),
@@ -761,6 +915,8 @@ class MpBackend(VecBackend):
 
         result.foreign_particles = _cat("foreign_particles")
         result.foreign_cells = _cat("foreign_cells")
+        loop.pset.order.note_relocated(
+            sum(r["relocated"] for r in results))
         removed = _cat("removed")
         result.n_removed = int(removed.size)
         if removed.size and not loop.defer_removal:

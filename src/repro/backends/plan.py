@@ -8,7 +8,12 @@ contiguous row-index array the gather/scatter needs, so steady-state
 executions of a mesh loop skip the per-call index arithmetic.
 
 Particle-mapped arguments (``p2c`` / double indirection) are *not*
-planned: the particle-to-cell map changes every move.
+planned: the particle-to-cell map changes every move.  The exception is
+a *cell-sorted* particle set (tracked by
+:class:`~repro.core.particles.ParticleOrder`): its per-cell segment
+offsets — the ``np.add.reduceat`` boundaries of the sort-aware fast
+path — are cached here, keyed on the order's mutation state, so every
+loop between two re-sorts reuses one ``bincount``/``cumsum``.
 """
 from __future__ import annotations
 
@@ -54,6 +59,10 @@ class PlanCache:
         self._rows: Dict[Tuple, np.ndarray] = {}
         self.hits = 0
         self.misses = 0
+        #: id(pset) -> (order.state, (counts, offsets, nonempty, starts))
+        self._segments: Dict[int, Tuple] = {}
+        self.segment_hits = 0
+        self.segment_misses = 0
 
     @staticmethod
     def _key(loop: ParLoop, arg: Arg) -> Optional[Tuple]:
@@ -79,10 +88,39 @@ class PlanCache:
             self.hits += 1
         return rows
 
+    def segments(self, pset) -> Tuple[np.ndarray, np.ndarray,
+                                      np.ndarray, np.ndarray]:
+        """Per-cell segment layout of a cell-sorted particle set.
+
+        Returns ``(counts, offsets, nonempty, starts)``: particles per
+        cell, the prefix-sum particle offset of every cell (length
+        ``ncells + 1``), the indices of non-empty cells, and the particle
+        index each non-empty cell's segment begins at (the ``reduceat``
+        boundaries).  Cached per order-mutation state — the caller must
+        have established ``pset.order.is_valid()``.
+        """
+        state = pset.order.state
+        ent = self._segments.get(id(pset))
+        if ent is not None and ent[0] == state:
+            self.segment_hits += 1
+            return ent[1]
+        self.segment_misses += 1
+        p2c = pset.p2c_map.p2c
+        counts = np.bincount(p2c, minlength=pset.cells_set.size)
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+        nonempty = np.flatnonzero(counts)
+        starts = offsets[nonempty]
+        seg = (counts, offsets, nonempty, starts)
+        self._segments[id(pset)] = (state, seg)
+        return seg
+
     def clear(self) -> None:
         self._rows.clear()
         self.hits = 0
         self.misses = 0
+        self._segments.clear()
+        self.segment_hits = 0
+        self.segment_misses = 0
 
     def __len__(self) -> int:
         return len(self._rows)

@@ -12,6 +12,7 @@ is the SIMT formulation of OP-PIC's multi-hop move.
 """
 from __future__ import annotations
 
+from time import perf_counter
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -21,8 +22,10 @@ from ..core.loops import ParLoop
 from ..core.move import MoveLoop, MoveResult
 from ..core.types import AccessMode, MoveStatus
 from .base import Backend
+from .locality import LocalityAutotuner
 from .plan import PlanCache
-from .reduction import ReductionStrategy, make_strategy
+from .reduction import (ReductionStrategy, SegmentedPresorted,
+                        make_strategy)
 from .seq import SeqBackend
 
 __all__ = ["VecBackend"]
@@ -34,7 +37,8 @@ class VecBackend(Backend):
     name = "vec"
 
     def __init__(self, strategy: str = "atomics",
-                 check_unique_writes: bool = False, **strategy_options):
+                 check_unique_writes: bool = False,
+                 locality: str = "never", **strategy_options):
         self.strategy_name = strategy
         self.strategy: ReductionStrategy = make_strategy(strategy,
                                                          **strategy_options)
@@ -45,7 +49,47 @@ class VecBackend(Backend):
         self.check_unique_writes = bool(check_unique_writes)
         #: OP2-style plan cache: static mesh-map indirection schedules
         self.plan = PlanCache()
+        #: the particle-locality engine; opt-in (``locality="auto"`` /
+        #: ``"always"``) because sorting permutes particle storage order
+        self.locality = LocalityAutotuner(mode=locality)
         self._seq = SeqBackend()
+
+    # -- the sort-aware fast path -------------------------------------------------
+
+    def _locality_segments(self, loop):
+        """Cached per-cell segment offsets when the sorted fast path
+        applies to this loop, else None.  May trigger an autotuned
+        re-sort (recorded as a ``SortParticles`` pseudo-loop)."""
+        if not self.locality.enabled:
+            return None
+        pset = loop.iterset
+        if not pset.is_particle_set or pset.p2c_map is None:
+            return None
+        if not (loop.start == 0 and loop.end == pset.size):
+            return None       # injected-only / windowed loops
+        if not any(a.kind in (ArgKind.P2C, ArgKind.DOUBLE)
+                   for a in loop.args):
+            return None       # nothing addressed through the cell
+        order = pset.order
+        if not order.is_valid():
+            if not self.locality.should_sort(pset.size):
+                return None
+            from ..core.particles import sort_particles_by_cell
+            t0 = perf_counter()
+            sort_particles_by_cell(pset)
+            dt = perf_counter() - t0
+            self.locality.note_sort(pset.size, dt)
+            self._record_sort(pset, dt)
+            if not order.is_valid():
+                return None   # e.g. dead (-1) rows sorted to the front
+        return self.plan.segments(pset)
+
+    @staticmethod
+    def _record_sort(pset, seconds: float) -> None:
+        from ..core.context import get_context
+        get_context().perf.record_loop("SortParticles", n=pset.size,
+                                       seconds=seconds, indirect_inc=False,
+                                       locality_sort=True)
 
     # -- opp_par_loop -----------------------------------------------------------
 
@@ -56,6 +100,10 @@ class VecBackend(Backend):
         if not gen.vectorized:
             self._seq.execute(loop)
             return {"fallback": True}
+
+        fastseg = self._locality_segments(loop)
+        track = self.locality.enabled and loop.iterset.is_particle_set
+        t_start = perf_counter() if track else 0.0
 
         full = loop.start == 0 and loop.end == loop.iterset.size
         idx = loop.iter_indices()
@@ -78,6 +126,19 @@ class VecBackend(Backend):
             if a.kind == ArgKind.DIRECT and a.access is AccessMode.READ \
                     and full:
                 params.append(a.dat.data)
+                continue
+            if fastseg is not None and a.access is AccessMode.READ \
+                    and a.kind in (ArgKind.P2C, ArgKind.DOUBLE):
+                # sorted fast path: the per-particle indirect gather is a
+                # per-cell broadcast of contiguous segments (bit-identical
+                # values to data[rows], no index array ever built)
+                counts = fastseg[0]
+                if a.kind == ArgKind.P2C:
+                    params.append(np.repeat(a.dat.data, counts, axis=0))
+                else:
+                    cell_rows = a.map.values[:, a.map_idx]
+                    params.append(np.repeat(a.dat.data[cell_rows], counts,
+                                            axis=0))
                 continue
             rows = self.plan.rows(loop, a, idx)   # planned (static) or None
             if (self.check_unique_writes and a.is_indirect
@@ -108,6 +169,7 @@ class VecBackend(Backend):
             gen.fn(*params)
 
         max_coll = 0
+        strategy_used = self.strategy_name
         for a, buf, rows in writeback:
             if a.is_global:
                 if a.access is AccessMode.INC:
@@ -126,6 +188,20 @@ class VecBackend(Backend):
                 else:
                     a.dat.data[idx] = buf
                 continue
+            if fastseg is not None and a.access is AccessMode.INC \
+                    and a.kind in (ArgKind.P2C, ArgKind.DOUBLE):
+                # sorted fast path: per-cell segment sums via the cached
+                # reduceat boundaries — no per-loop argsort, no atomics
+                counts, _offsets, nonempty, starts = fastseg
+                if a.kind == ArgKind.P2C:
+                    seg_rows = nonempty
+                else:
+                    seg_rows = a.map.values[nonempty, a.map_idx]
+                coll = SegmentedPresorted.apply_segments(
+                    a.dat.data, seg_rows, starts, buf, total=n)
+                strategy_used = "segmented_presorted"
+                max_coll = max(max_coll, coll)
+                continue
             if rows is not None:
                 if a.access is AccessMode.INC:
                     coll = self.strategy.apply(a.dat.data, rows, buf)
@@ -135,7 +211,13 @@ class VecBackend(Backend):
             else:
                 coll = self.scatter(a, idx, buf, strategy=self.strategy)
             max_coll = max(max_coll, coll)
-        return {"collisions": max_coll, "strategy": self.strategy_name}
+        if track:
+            self.locality.note_loop(n, perf_counter() - t_start,
+                                    fast=fastseg is not None)
+        extras = {"collisions": max_coll, "strategy": strategy_used}
+        if fastseg is not None:
+            extras["locality_fast_path"] = True
+        return extras
 
     # -- opp_particle_move --------------------------------------------------------
 
@@ -143,6 +225,12 @@ class VecBackend(Backend):
         gen = loop.kernel.generated("vec")
         if not gen.vectorized:
             return self._seq.execute_move(loop)
+        dep = loop.deposit
+        dep_gen = None
+        if dep is not None:
+            dep_gen = dep.kernel.generated("vec")
+            if not dep_gen.vectorized:
+                return self._seq.execute_move(loop)
 
         from ..translator.codegen import VecMoveContext
 
@@ -161,6 +249,7 @@ class VecBackend(Backend):
         foreign_cells: List[np.ndarray] = []
         total_hops = 0
         max_coll = 0
+        relocated = 0
         hop = 0
 
         while active.size:
@@ -215,6 +304,21 @@ class VecBackend(Backend):
             done = status == int(MoveStatus.MOVE_DONE)
             gone = status == int(MoveStatus.NEED_REMOVE)
             moving = status == int(MoveStatus.NEED_MOVE)
+            if hop == 0:
+                # particles still walking (or leaving) after the first hop
+                # end up outside their original cell segment
+                relocated = int(np.count_nonzero(moving)) \
+                    + int(np.count_nonzero(gone))
+
+            if dep_gen is not None:
+                if dep.when == "hop":
+                    dpart, dcells = active, cells
+                else:                     # "done": settled this round
+                    dpart, dcells = active[done], cells[done]
+                if dpart.size:
+                    coll = self._run_move_deposit(dep, dep_gen, dpart,
+                                                  dcells)
+                    max_coll = max(max_coll, coll)
 
             p2c[active[done]] = cells[done]
             if gone.any():
@@ -225,6 +329,7 @@ class VecBackend(Backend):
             cells = mctx.next_cell[moving]
             hop += 1
 
+        loop.pset.order.note_relocated(relocated)
         result.total_hops = total_hops
         result.max_collisions = max_coll
         result.foreign_particles = (np.concatenate(foreign_parts)
@@ -241,3 +346,36 @@ class VecBackend(Backend):
         else:
             result.removed_indices = removed
         return result
+
+    def _run_move_deposit(self, dep, gen, part_idx: np.ndarray,
+                          cells: np.ndarray) -> int:
+        """One fused-deposit round over the given frontier lanes."""
+        params: List[np.ndarray] = []
+        writeback: List[Tuple[Arg, np.ndarray, np.ndarray]] = []
+        for a in dep.args:
+            if a.is_global:
+                params.append(a.dat.data.reshape(1, -1))
+                continue
+            rows = a.gather_indices(part_idx, cells)
+            if a.access in (AccessMode.READ, AccessMode.RW):
+                buf = a.dat.data[rows]
+            else:
+                buf = np.zeros((part_idx.size, a.dat.dim),
+                               dtype=a.dat.dtype)
+            params.append(buf)
+            if a.access.writes:
+                writeback.append((a, buf, rows))
+        with np.errstate(invalid="ignore", divide="ignore",
+                         over="ignore"):
+            gen.fn(*params)
+        max_coll = 0
+        for a, buf, rows in writeback:
+            if a.access is AccessMode.INC:
+                if a.kind == ArgKind.DIRECT:
+                    a.dat.data[rows] += buf   # particle rows are unique
+                else:
+                    coll = self.strategy.apply(a.dat.data, rows, buf)
+                    max_coll = max(max_coll, coll)
+            else:
+                a.dat.data[rows] = buf
+        return max_coll

@@ -49,6 +49,8 @@ def _build_parser() -> argparse.ArgumentParser:
     fp.add_argument("--nworkers", type=int, default=None, metavar="N",
                     help="worker processes for --backend mp")
     fp.add_argument("--move", default=None, choices=["mh", "dh"])
+    fp.add_argument("--fuse-move", action="store_true", default=None,
+                    help="fuse the charge deposit into the particle move")
     fp.add_argument("--mesh-file", default=None)
     fp.add_argument("--vtk", default=None, metavar="DIR",
                     help="write mesh+particle VTK files here at the end")
@@ -67,6 +69,9 @@ def _build_parser() -> argparse.ArgumentParser:
     cb.add_argument("--pusher", default=None,
                     choices=["boris", "velocity_verlet", "vay",
                              "higuera_cary"])
+    cb.add_argument("--fuse-move", action="store_true", default=None,
+                    help="run Move_Deposit through the runtime-fused "
+                    "move+deposit path")
     cb.add_argument("--validate", action="store_true",
                     help="also run the structured reference and compare")
     _add_dist_flags(cb)
@@ -178,7 +183,8 @@ def _run_fempic(args) -> int:
     from repro.apps.fempic import FemPicConfig, FemPicSimulation
     cfg = _overlay(FemPicConfig(), args,
                    {"steps": "n_steps", "backend": "backend",
-                    "move": "move_strategy", "mesh_file": "mesh_file"})
+                    "move": "move_strategy", "mesh_file": "mesh_file",
+                    "fuse_move": "fuse_move"})
     if args.ranks:
         if args.vtk:
             raise SystemExit("error: --vtk is not supported with --ranks")
@@ -216,7 +222,8 @@ def _run_cabana(args) -> int:
                                    StructuredCabanaReference)
     cfg = _overlay(CabanaConfig(), args,
                    {"steps": "n_steps", "ppc": "ppc",
-                    "backend": "backend", "pusher": "pusher"})
+                    "backend": "backend", "pusher": "pusher",
+                    "fuse_move": "fuse_move"})
     if args.ranks:
         if args.validate:
             raise SystemExit(

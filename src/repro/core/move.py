@@ -31,7 +31,8 @@ from .maps import Map
 from .sets import ParticleSet
 from .types import AccessMode, MoveStatus
 
-__all__ = ["MoveContext", "MoveLoop", "particle_move", "MoveResult"]
+__all__ = ["MoveContext", "MoveDeposit", "MoveLoop", "particle_move",
+           "MoveResult"]
 
 #: Safety bound on hops per particle per move call; a well-posed PIC step
 #: moves particles at most a few cells, so hitting this indicates a bug.
@@ -96,13 +97,41 @@ class MoveResult:
         return int(self.foreign_particles.size)
 
 
+class MoveDeposit:
+    """A deposit kernel fused into a particle move (paper §3.3/§4:
+    CabanaPIC's current deposit runs *inside* the mover so particle
+    state is touched once per step).
+
+    ``when`` selects the firing point within the frontier loop:
+
+    * ``"done"`` — once per particle, after it settles in its final cell
+      (electrostatic charge deposit: FEM-PIC's ``DepositCharge``);
+    * ``"hop"`` — every hop, against the cell currently being crossed
+      (electromagnetic segment-current deposit: CabanaPIC).
+
+    The kernel is an ordinary elemental particle kernel (no move
+    context); its arguments follow the move-kernel addressing rules.
+    """
+
+    __slots__ = ("kernel", "args", "when")
+
+    def __init__(self, kernel, args: Sequence[Arg], when: str = "done"):
+        if when not in ("done", "hop"):
+            raise ValueError(f"deposit_when must be 'done' or 'hop', "
+                             f"got {when!r}")
+        self.kernel = as_kernel(kernel)
+        self.args: List[Arg] = list(args)
+        self.when = when
+
+
 class MoveLoop:
     """Backend-independent description of a particle-move loop."""
 
     def __init__(self, kernel: Kernel, name: str, pset: ParticleSet,
                  c2c_map: Map, p2c_map: Map, args: Sequence[Arg],
                  max_hops: int = DEFAULT_MAX_HOPS,
-                 only_indices: Optional[np.ndarray] = None):
+                 only_indices: Optional[np.ndarray] = None,
+                 deposit: Optional[MoveDeposit] = None):
         self.kernel = as_kernel(kernel)
         self.name = name
         self.pset = pset
@@ -119,6 +148,8 @@ class MoveLoop:
         #: if set, particles finishing in a removed state are *not* deleted
         #: by the backend (the runtime batches deletion with migration)
         self.defer_removal = False
+        #: optional fused deposit executed per frontier round
+        self.deposit = deposit
 
         if not isinstance(pset, ParticleSet):
             raise TypeError("particle_move iterates a ParticleSet")
@@ -137,6 +168,18 @@ class MoveLoop:
                 raise ValueError("global reductions inside a move kernel "
                                  "are not supported; reduce in a separate "
                                  "opp_par_loop after the move")
+        if deposit is not None:
+            for a in deposit.args:
+                a.validate_against(pset)
+                if a.is_indirect and a.access in (AccessMode.WRITE,
+                                                 AccessMode.RW):
+                    raise ValueError("indirect WRITE/RW inside a fused "
+                                     "deposit kernel is racy; use OPP_INC")
+                if a.is_global and a.access is not AccessMode.READ:
+                    raise ValueError("global reductions inside a fused "
+                                     "deposit kernel are not supported")
+            deposit.kernel.check_arity(len(deposit.args),
+                                       loop_name=f"{name}:deposit")
         # +1: the elemental move kernel receives the MoveContext first
         self.kernel.check_arity(len(self.args) + 1, loop_name=name)
 
@@ -161,16 +204,27 @@ class MoveLoop:
 
 def particle_move(kernel, name: str, pset: ParticleSet, c2c_map: Map,
                   p2c_map: Map, *args: Arg,
-                  max_hops: int = DEFAULT_MAX_HOPS) -> MoveResult:
+                  max_hops: int = DEFAULT_MAX_HOPS,
+                  deposit_kernel=None, deposit_args: Sequence[Arg] = (),
+                  deposit_when: str = "done") -> MoveResult:
     """Declare-and-execute a particle move (the ``opp_particle_move`` call).
 
     On a single rank this fully relocates every particle (multi-hop walk)
     and deletes the ones that leave the domain.  Under the distributed
     runtime the same call additionally migrates particles between ranks;
     application code does not change.
+
+    ``deposit_kernel``/``deposit_args`` fuse a deposit into the move
+    (see :class:`MoveDeposit`): the backends run it per frontier round —
+    on settling particles (``deposit_when="done"``) or every hop
+    (``"hop"``) — so particle state is touched once.
     """
+    deposit = None
+    if deposit_kernel is not None:
+        deposit = MoveDeposit(deposit_kernel, deposit_args,
+                              when=deposit_when)
     loop = MoveLoop(kernel, name, pset, c2c_map, p2c_map, args,
-                    max_hops=max_hops)
+                    max_hops=max_hops, deposit=deposit)
     from .loops import run_loop_hooks
     run_loop_hooks(loop)
     ctx = get_context()
@@ -179,12 +233,15 @@ def particle_move(kernel, name: str, pset: ParticleSet, c2c_map: Map,
     dt = time.perf_counter() - t0
     n = loop.pset.size
     fpe = loop.kernel.flops_per_elem or 0.0
+    inc_args = list(loop.args) + (list(deposit.args) if deposit else [])
+    if deposit is not None:
+        result.extras.setdefault("fused_deposit", deposit.when)
     ctx.perf.record_loop(name, n=n, seconds=dt,
                          flops=fpe * result.total_hops,
                          nbytes=loop.bytes_per_hop() * result.total_hops,
                          indirect_inc=any(a.is_indirect and
                                           a.access is AccessMode.INC
-                                          for a in loop.args),
+                                          for a in inc_args),
                          hops=result.total_hops, is_move=True,
                          collisions=result.max_collisions,
                          branches=loop.kernel.branch_count(),

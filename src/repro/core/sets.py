@@ -94,6 +94,9 @@ class ParticleSet(Set):
         self.p2c_map: Optional["Map"] = None
         #: indices flagged for removal during the current move loop
         self._remove_flags: Optional[np.ndarray] = None
+        #: incremental cell-sortedness tracker (the locality engine)
+        from .particles import ParticleOrder     # deferred: avoids cycle
+        self.order = ParticleOrder(self)
 
     @property
     def is_particle_set(self) -> bool:
@@ -143,6 +146,7 @@ class ParticleSet(Set):
             else:
                 self.p2c_map._raw[start:start + count, 0] = -1
         self.size = start + count
+        self.order.note_appended(count)
         return slice(start, self.size)
 
     def end_injection(self) -> None:
@@ -177,6 +181,9 @@ class ParticleSet(Set):
             self.p2c_map._raw[holes] = self.p2c_map._raw[movers]
         self.size = new_size
         self.injected_start = min(self.injected_start, new_size)
+        # pure tail removal keeps a sorted order sorted; filled holes may
+        # not (the mover comes from the highest cells)
+        self.order.note_holes_filled(int(holes.size))
 
     def compact_reorder(self, order: np.ndarray) -> None:
         """Permute live particles into ``order`` (used by particle sorting)."""
@@ -187,6 +194,7 @@ class ParticleSet(Set):
             dat._raw[: self.size] = dat._raw[order]
         if self.p2c_map is not None:
             self.p2c_map._raw[: self.size] = self.p2c_map._raw[order]
+        self.order.invalidate()
 
     def __repr__(self) -> str:
         return (f"<ParticleSet {self.name!r} size={self.size} "

@@ -1,8 +1,9 @@
 """FEM substrate: P1 assembly and KSP-style solvers (PETSc substitute)."""
-from .assembly import DirichletSystem, build_stiffness, lumped_node_volumes
+from .assembly import DirichletSystem, build_stiffness, \
+    lumped_node_volumes, sorted_scatter_add
 from .solver import KSPResult, KSPSolver, jacobi_preconditioner, \
     ssor_preconditioner
 
 __all__ = ["DirichletSystem", "build_stiffness", "lumped_node_volumes",
-           "KSPSolver", "KSPResult", "jacobi_preconditioner",
-           "ssor_preconditioner"]
+           "sorted_scatter_add", "KSPSolver", "KSPResult",
+           "jacobi_preconditioner", "ssor_preconditioner"]

@@ -20,7 +20,41 @@ import scipy.sparse as sp
 
 from ..mesh.geometry import p1_gradients
 
-__all__ = ["build_stiffness", "lumped_node_volumes", "DirichletSystem"]
+__all__ = ["build_stiffness", "lumped_node_volumes",
+           "sorted_scatter_add", "DirichletSystem"]
+
+
+def sorted_scatter_add(rows: np.ndarray, values: np.ndarray,
+                       n_out: int) -> np.ndarray:
+    """``out[rows] += values`` onto a fresh zero vector, bitwise-equal to
+    ``np.add.at`` but without its scalar inner loop.
+
+    A stable sort groups each output row's contributions while keeping
+    their original left-to-right order; round ``k`` then adds every
+    row's ``k``-th contribution with a plain (unique-index) fancy add.
+    Each row thus accumulates in exactly ``np.add.at``'s order, so the
+    result is bit-identical; the round count is the maximum row
+    multiplicity (the node valence, for mesh assembly).
+
+    ``np.add.reduceat`` would be the obvious one-shot alternative but is
+    *not* bitwise-stable here: SIMD builds of NumPy reassociate segment
+    sums depending on lane alignment.
+    """
+    out = np.zeros(n_out, dtype=np.result_type(values, np.float64))
+    rows = np.asarray(rows)
+    values = np.asarray(values)
+    if rows.size == 0:
+        return out
+    order = np.argsort(rows, kind="stable")
+    keys = rows[order]
+    sorted_vals = values[order]
+    starts = np.concatenate(([0], np.flatnonzero(np.diff(keys)) + 1))
+    lens = np.diff(np.append(starts, keys.size))
+    seg_keys = keys[starts]
+    for k in range(int(lens.max())):
+        m = lens > k
+        out[seg_keys[m]] += sorted_vals[starts[m] + k]
+    return out
 
 
 def build_stiffness(points: np.ndarray, cells: np.ndarray) -> sp.csr_matrix:
@@ -43,9 +77,8 @@ def lumped_node_volumes(points: np.ndarray, cells: np.ndarray) -> np.ndarray:
     the Boltzmann-electron term in the Jacobian.
     """
     _, vols = p1_gradients(points, cells)
-    out = np.zeros(points.shape[0])
-    np.add.at(out, cells.ravel(), np.repeat(vols / 4.0, 4))
-    return out
+    return sorted_scatter_add(cells.ravel(), np.repeat(vols / 4.0, 4),
+                              points.shape[0])
 
 
 class DirichletSystem:

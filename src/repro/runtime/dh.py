@@ -45,7 +45,9 @@ def direct_hop_assign(overlay: StructuredOverlay, pset: ParticleSet,
     old = p2c_map.p2c.copy()
     alive = old >= 0
     p2c_map.p2c[alive] = guess[alive]
-    return int((old[alive] != guess[alive]).sum())
+    changed = int((old[alive] != guess[alive]).sum())
+    pset.order.note_relocated(changed)
+    return changed
 
 
 class DirectHopGlobalMover:

@@ -79,3 +79,12 @@ def test_distributed_matches_single(nranks):
     # PIC traffic flows (migration + halos); solve ledger is separate
     assert dist.comm.stats.total_messages > 0
     assert dist.solve_stats.total_bytes > 0
+
+
+def test_lumped_node_areas_bit_equal_to_add_at_form():
+    from repro.apps.twod.simulation import lumped_node_areas
+    from repro.mesh.tri import square_tri_mesh
+    mesh = square_tri_mesh(7, 5, 1.0, 1.0)
+    want = np.zeros(mesh.n_nodes)
+    np.add.at(want, mesh.cell2node.ravel(), np.repeat(mesh.areas / 3.0, 3))
+    assert np.array_equal(lumped_node_areas(mesh), want)

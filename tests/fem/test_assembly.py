@@ -84,3 +84,36 @@ def test_reduce_rhs_moves_coupling(world):
     rhs = sys.reduce_rhs(np.zeros(mesh.n_nodes))
     x = sp.linalg.spsolve(sys.k_ff.tocsc(), rhs)
     np.testing.assert_allclose(sys.full_vector(x), phi_exact, atol=1e-9)
+
+
+# -- sorted scatter-add (the np.add.at replacement) ---------------------------
+
+
+def test_sorted_scatter_add_bit_equal_to_add_at(rng):
+    from repro.fem import sorted_scatter_add
+    for _ in range(20):
+        n_out = int(rng.integers(1, 40))
+        rows = rng.integers(0, n_out, size=int(rng.integers(0, 400)))
+        vals = rng.normal(size=rows.size)
+        want = np.zeros(n_out)
+        np.add.at(want, rows, vals)
+        got = sorted_scatter_add(rows, vals, n_out)
+        assert np.array_equal(got, want)     # bitwise, not allclose
+
+
+def test_sorted_scatter_add_empty():
+    from repro.fem import sorted_scatter_add
+    out = sorted_scatter_add(np.empty(0, np.int64), np.empty(0), 5)
+    assert out.shape == (5,) and not out.any()
+
+
+def test_lumped_volumes_bit_equal_to_add_at_form(world):
+    """The vectorised lumping must match the historical np.add.at loop
+    bit-for-bit on the real duct mesh."""
+    from repro.mesh.geometry import p1_gradients
+    mesh, _ = world
+    _, vols = p1_gradients(mesh.points, mesh.cell2node)
+    want = np.zeros(mesh.n_nodes)
+    np.add.at(want, mesh.cell2node.ravel(), np.repeat(vols / 4.0, 4))
+    got = lumped_node_volumes(mesh.points, mesh.cell2node)
+    assert np.array_equal(got, want)
