@@ -37,25 +37,43 @@ def runs():
     return {m: run(m) for m in METHODS}
 
 
+def _particle_weights(dist) -> np.ndarray:
+    """Global per-cell particle counts at the end of the run."""
+    w = np.zeros(len(dist.cell_owner))
+    for r, rk in enumerate(dist.ranks):
+        n = rk.parts.size
+        gcell = dist.meshes[r].cells_global[rk.p2c.p2c[:n]]
+        np.add.at(w, gcell, 1.0)
+    return w
+
+
 def test_ablation_partitioner(runs, benchmark):
+    from repro.runtime import diffusive, migration_volume
+
     # collect statistics before the benchmark adds extra steps
     lines = ["Ablation — partitioner vs PIC communication "
              f"({NRANKS} ranks)",
              f"{'method':<22}{'edge cut':>10}{'PIC MB sent':>13}"
-             f"{'imbalance':>11}"]
+             f"{'imbalance':>11}{'rebal. vol':>12}"]
     stats = {}
     for m, dist in runs.items():
         cut = edge_cut(dist.gmesh.c2c, dist.cell_owner)
         mb = dist.comm.stats.total_bytes / 1e6
         counts = np.array([rk.parts.size for rk in dist.ranks])
         imb = counts.max() / max(counts.mean(), 1.0)
-        stats[m] = (cut, mb, imb)
-        lines.append(f"{m:<22}{cut:>10}{mb:>13.3f}{imb:>11.2f}")
+        # one-off cost of switching to the particle-balanced partition
+        # the elastic runtime would pick at this point of the run
+        balanced = diffusive(dist.gmesh.centroids, NRANKS,
+                             weights=_particle_weights(dist))
+        vol = migration_volume(dist.cell_owner, balanced)
+        stats[m] = (cut, mb, imb, vol)
+        lines.append(f"{m:<22}{cut:>10}{mb:>13.3f}{imb:>11.2f}"
+                     f"{vol:>12.0f}")
     write_result("ablation_partitioner", "\n".join(lines))
 
     benchmark(runs["principal_direction"].step)
 
-    pd_cut, pd_mb, pd_imb = stats["principal_direction"]
+    pd_cut, pd_mb, pd_imb, pd_vol = stats["principal_direction"]
     # on this duct the slab partitioners (pd / rcb / block) coincide; the
     # paper's point is the custom scheme's advantage over a
     # general-purpose graph partitioner (their ParMETIS option)
@@ -65,3 +83,7 @@ def test_ablation_partitioner(runs, benchmark):
     # slab partitioning along the motion direction keeps particles
     # reasonably balanced (transient fill gradient notwithstanding)
     assert pd_imb < 2.5
+    # slabs are also the cheapest starting point for an online
+    # rebalance: diffusive only shifts boundaries, so switching from
+    # pd costs no more cells than from the graph partition
+    assert pd_vol <= stats["graph"][3]

@@ -34,8 +34,11 @@ _S = STENCIL
 
 class _Rank:
     def __init__(self, r: int, cfg: CabanaConfig, gmesh: HexMesh,
-                 rank_mesh, face_local: np.ndarray):
-        self.ctx = Context(cfg.backend, **cfg.backend_options)
+                 rank_mesh, face_local: np.ndarray,
+                 ctx: Optional[Context] = None):
+        # on a live rebalance the backend context is carried over
+        self.ctx = ctx if ctx is not None \
+            else Context(cfg.backend, **cfg.backend_options)
         self.rm = rank_mesh
 
         self.cells = decl_set(rank_mesh.n_local_cells, f"cells_r{r}")
@@ -88,20 +91,12 @@ class DistributedCabana:
                                     centroids=self.gmesh.centroids,
                                     c2c=self.gmesh.stencil_c2c, axis=2)
         # halo from the stencil map so diagonal reads are satisfied
-        self.meshes, self.plan = build_rank_meshes(
-            self.gmesh.stencil_c2c, self.cell_owner, nranks)
+        self.meshes, self.plan = self._build_partition(self.cell_owner)
 
-        self.ranks: List[Optional[_Rank]] = []
-        for r in range(nranks):
-            if not self.comm.is_local(r):
-                self.ranks.append(None)
-                continue
-            rm = self.meshes[r]
-            g2l = np.full(self.gmesh.n_cells, -1, dtype=np.int64)
-            g2l[rm.cells_global] = np.arange(rm.cells_global.size)
-            face_global = self.gmesh.face_c2c[rm.cells_global]
-            face_local = np.where(face_global >= 0, g2l[face_global], -1)
-            self.ranks.append(_Rank(r, cfg, self.gmesh, rm, face_local))
+        self.ranks: List[Optional[_Rank]] = [
+            self._make_rank(r, self.meshes[r])
+            if self.comm.is_local(r) else None
+            for r in range(nranks)]
 
         self._initialize_particles()
         self.history = {"e_energy": [], "b_energy": []}
@@ -265,3 +260,34 @@ class DistributedCabana:
     @property
     def nranks(self) -> int:
         return self.comm.nranks
+
+    # -- elastic-runtime hooks (see repro.elastic.migrate) -----------------------
+
+    def _make_rank(self, r: int, rm, ctx: Optional[Context] = None) -> _Rank:
+        g2l = np.full(self.gmesh.n_cells, -1, dtype=np.int64)
+        g2l[rm.cells_global] = np.arange(rm.cells_global.size)
+        face_global = self.gmesh.face_c2c[rm.cells_global]
+        face_local = np.where(face_global >= 0, g2l[face_global], -1)
+        return _Rank(r, self.cfg, self.gmesh, rm, face_local, ctx=ctx)
+
+    def _build_partition(self, new_owner, nranks: Optional[int] = None):
+        return build_rank_meshes(self.gmesh.stencil_c2c, new_owner,
+                                 nranks if nranks is not None
+                                 else self.nranks)
+
+    def _rebuild_rank(self, r: int, rank_mesh, old_rank: _Rank) -> _Rank:
+        return self._make_rank(r, rank_mesh, ctx=old_rank.ctx)
+
+    def _migration_spec(self) -> dict:
+        # e and b integrate across steps; j/interp/acc are rebuilt from
+        # scratch every step before being read
+        return {"cell": ("e", "b"),
+                "part": ("pos", "disp", "vel", "w", "pushed")}
+
+    def _elastic_partition(self, weights) -> np.ndarray:
+        from repro.runtime import diffusive
+        dz = self.cfg.lz / self.cfg.nz
+        keys = np.clip(np.floor(self.gmesh.centroids[:, 2] / dz),
+                       0, self.cfg.nz - 1).astype(np.int64)
+        return diffusive(self.gmesh.centroids, self.nranks,
+                         weights=weights, axis=2, keys=keys)

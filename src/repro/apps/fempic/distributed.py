@@ -39,8 +39,12 @@ __all__ = ["DistributedFemPic"]
 class _Rank:
     """Per-rank DSL declarations (the same calls as the single-node app)."""
 
-    def __init__(self, r: int, cfg: FemPicConfig, gmesh, rank_mesh):
-        self.ctx = Context(cfg.backend, **cfg.backend_options)
+    def __init__(self, r: int, cfg: FemPicConfig, gmesh, rank_mesh,
+                 ctx: Optional[Context] = None):
+        # on a live rebalance the backend context (worker pools, perf
+        # counters) is carried over; only the DSL objects are rebuilt
+        self.ctx = ctx if ctx is not None \
+            else Context(cfg.backend, **cfg.backend_options)
         self.rm = rank_mesh
         cg = rank_mesh.cells_global
         ng = rank_mesh.nodes_global
@@ -116,9 +120,8 @@ class DistributedFemPic:
         self.cell_owner = partition(partition_method, nranks,
                                     centroids=self.gmesh.centroids,
                                     c2c=self.gmesh.c2c, axis=2)
-        self.meshes, self.plan = build_rank_meshes(
-            self.gmesh.c2c, self.cell_owner, nranks,
-            c2n=self.gmesh.cell2node)
+        self.meshes, self.plan = self._build_partition(self.cell_owner)
+        self._ranks_per_node = ranks_per_node
 
         # constants are global (decl_const) — same values on every rank
         declare_fempic_constants(cfg)
@@ -152,12 +155,11 @@ class DistributedFemPic:
         self._scatter_phi()
 
         self.dh_mover = None
+        self._overlay_base = None
         if cfg.move_strategy == "dh":
-            overlay = StructuredOverlay.build(self.gmesh, cfg.overlay_bins)
-            overlay = overlay.with_rank_map(self.cell_owner)
-            self.dh_mover = DirectHopGlobalMover(
-                overlay, self.comm, self.plan, self.meshes,
-                ranks_per_node=ranks_per_node)
+            self._overlay_base = StructuredOverlay.build(self.gmesh,
+                                                         cfg.overlay_bins)
+            self._build_mover()
 
         self._inject_carry = [0.0] * nranks
         self.history = {"n_particles": [], "field_energy": [],
@@ -424,6 +426,65 @@ class DistributedFemPic:
     def busy_seconds_per_rank(self) -> List[float]:
         return [rk.ctx.perf.total_seconds if rk else 0.0
                 for rk in self.ranks]
+
+    # -- elastic-runtime hooks (see repro.elastic.migrate) -------------------------
+
+    def _build_mover(self) -> None:
+        overlay = self._overlay_base.with_rank_map(self.cell_owner)
+        self.dh_mover = DirectHopGlobalMover(
+            overlay, self.comm, self.plan, self.meshes,
+            ranks_per_node=self._ranks_per_node)
+
+    def _build_partition(self, new_owner, nranks: Optional[int] = None):
+        return build_rank_meshes(self.gmesh.c2c, new_owner,
+                                 nranks if nranks is not None
+                                 else self.nranks,
+                                 c2n=self.gmesh.cell2node)
+
+    def _rebuild_rank(self, r: int, rank_mesh, old_rank: _Rank) -> _Rank:
+        return _Rank(r, self.cfg, self.gmesh, rank_mesh, ctx=old_rank.ctx)
+
+    def _migration_spec(self) -> dict:
+        # ef is the only mesh dat read before being recomputed each step;
+        # phi/nw/ncd travel too so snapshots between steps stay coherent
+        return {"cell": ("ef",), "node": ("phi", "nw", "ncd"),
+                "part": ("pos", "vel", "lc"),
+                "c2n": self.gmesh.cell2node}
+
+    def _post_rebalance(self) -> None:
+        if self.dh_mover is not None:
+            self._build_mover()
+
+    def _elastic_partition(self, weights) -> np.ndarray:
+        """Weighted slab repartition that can only shift layer
+        boundaries: the duct's z layers are the atomic unit, so the
+        inlet layer (all injection faces) never splits off rank 0 and
+        the injection stream stays bit-identical across rebalances."""
+        from repro.runtime import diffusive
+        dz = self.cfg.lz / self.cfg.nz
+        keys = np.clip(np.floor(self.gmesh.centroids[:, 2] / dz),
+                       0, self.cfg.nz - 1).astype(np.int64)
+        return diffusive(self.gmesh.centroids, self.nranks,
+                         weights=weights, axis=2, keys=keys)
+
+    def _snapshot_extras(self, r: int) -> dict:
+        import pickle
+        extras = {"rng": np.frombuffer(
+            pickle.dumps(self.rngs[r].bit_generator.state),
+            dtype=np.uint8),
+            "carry": np.array([self._inject_carry[r]])}
+        if r == 0:
+            # rank 0's persistent Newton initial guess
+            extras["phi_global"] = self.phi_global.copy()
+        return extras
+
+    def _restore_extras(self, r: int, extras: dict) -> None:
+        import pickle
+        self.rngs[r].bit_generator.state = pickle.loads(
+            extras["rng"].tobytes())
+        self._inject_carry[r] = float(extras["carry"][0])
+        if "phi_global" in extras:
+            self.phi_global[:] = extras["phi_global"]
 
 
 class _SubMesh:

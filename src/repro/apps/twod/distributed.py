@@ -45,14 +45,12 @@ class DistributedTwoD:
         decl_const("qm2", cfg.qe / cfg.me)
         decl_const("tol2", cfg.move_tolerance)
 
-        centroids3 = np.concatenate(
+        self._centroids3 = np.concatenate(
             [self.gmesh.centroids,
              np.zeros((self.gmesh.n_cells, 1))], axis=1)
         self.cell_owner = partition("principal_direction", nranks,
-                                    centroids=centroids3, axis=0)
-        self.meshes, self.plan = build_rank_meshes(
-            self.gmesh.c2c, self.cell_owner, nranks,
-            c2n=self.gmesh.cell2node)
+                                    centroids=self._centroids3, axis=0)
+        self.meshes, self.plan = self._build_partition(self.cell_owner)
 
         # gathered Poisson operator: only the solving rank needs it
         self.K = None
@@ -66,39 +64,43 @@ class DistributedTwoD:
                                              np.zeros(len(bnodes)))
             self.background = -cfg.qe * cfg.density * node_areas
 
-        self.ranks: List[Optional[dict]] = []
-        for r in range(nranks):
-            if not self.comm.is_local(r):
-                self.ranks.append(None)
-                continue
-            rm = self.meshes[r]
-            ctx = Context(cfg.backend, **cfg.backend_options)
-            cells = decl_set(rm.n_local_cells, f"tri_cells_r{r}")
-            cells.owned_size = rm.n_owned_cells
-            nodes = decl_set(rm.n_local_nodes, f"tri_nodes_r{r}")
-            nodes.owned_size = rm.n_owned_nodes
-            parts = decl_particle_set(cells, 0, f"electrons2d_r{r}")
-            c2n = decl_map(cells, nodes, 3, rm.local_c2n)
-            c2c = decl_map(cells, cells, 3, rm.local_c2c)
-            p2c = decl_map(parts, cells, 1, None)
-            cg = rm.cells_global
-            self.ranks.append(dict(
-                ctx=ctx, rm=rm, cells=cells, nodes=nodes, parts=parts,
-                c2n=c2n, c2c=c2c, p2c=p2c,
-                ef=decl_dat(cells, 2, np.float64, None, "e_field2d"),
-                xform=decl_dat(cells, 6, np.float64,
-                               self.gmesh.xforms[cg], "tri_xform"),
-                gradm=decl_dat(cells, 6, np.float64,
-                               self.gmesh.grads.reshape(-1, 6)[cg],
-                               "tri_grads"),
-                phi=decl_dat(nodes, 1, np.float64, None, "phi2d"),
-                nw=decl_dat(nodes, 1, np.float64, None, "weights2d"),
-                pos=decl_dat(parts, 2, np.float64, None, "pos2d"),
-                vel=decl_dat(parts, 2, np.float64, None, "vel2d"),
-                lc=decl_dat(parts, 3, np.float64, None, "lc2d")))
+        self.ranks: List[Optional[dict]] = [
+            self._make_rank(r, self.meshes[r])
+            if self.comm.is_local(r) else None
+            for r in range(nranks)]
 
         self._seed()
         self.history = {"field_energy": [], "n_particles": []}
+
+    def _make_rank(self, r: int, rm, ctx: Optional[Context] = None) -> dict:
+        """Per-rank DSL declarations; ``ctx`` is carried over on a live
+        rebalance so worker pools and perf counters survive."""
+        cfg = self.cfg
+        if ctx is None:
+            ctx = Context(cfg.backend, **cfg.backend_options)
+        cells = decl_set(rm.n_local_cells, f"tri_cells_r{r}")
+        cells.owned_size = rm.n_owned_cells
+        nodes = decl_set(rm.n_local_nodes, f"tri_nodes_r{r}")
+        nodes.owned_size = rm.n_owned_nodes
+        parts = decl_particle_set(cells, 0, f"electrons2d_r{r}")
+        c2n = decl_map(cells, nodes, 3, rm.local_c2n)
+        c2c = decl_map(cells, cells, 3, rm.local_c2c)
+        p2c = decl_map(parts, cells, 1, None)
+        cg = rm.cells_global
+        return dict(
+            ctx=ctx, rm=rm, cells=cells, nodes=nodes, parts=parts,
+            c2n=c2n, c2c=c2c, p2c=p2c,
+            ef=decl_dat(cells, 2, np.float64, None, "e_field2d"),
+            xform=decl_dat(cells, 6, np.float64,
+                           self.gmesh.xforms[cg], "tri_xform"),
+            gradm=decl_dat(cells, 6, np.float64,
+                           self.gmesh.grads.reshape(-1, 6)[cg],
+                           "tri_grads"),
+            phi=decl_dat(nodes, 1, np.float64, None, "phi2d"),
+            nw=decl_dat(nodes, 1, np.float64, None, "weights2d"),
+            pos=decl_dat(parts, 2, np.float64, None, "pos2d"),
+            vel=decl_dat(parts, 2, np.float64, None, "vel2d"),
+            lc=decl_dat(parts, 3, np.float64, None, "lc2d"))
 
     def _local(self):
         """(rank, declarations) pairs resident in this process."""
@@ -254,3 +256,32 @@ class DistributedTwoD:
                        else self.cfg.n_steps):
             self.step()
         return self.history
+
+    def busy_seconds_per_rank(self) -> List[float]:
+        return [rk["ctx"].perf.total_seconds if rk else 0.0
+                for rk in self.ranks]
+
+    # -- elastic-runtime hooks (see repro.elastic.migrate) -------------------------
+
+    def _build_partition(self, new_owner, nranks: Optional[int] = None):
+        return build_rank_meshes(self.gmesh.c2c, new_owner,
+                                 nranks if nranks is not None
+                                 else self.nranks,
+                                 c2n=self.gmesh.cell2node)
+
+    def _rebuild_rank(self, r: int, rank_mesh, old_rank: dict) -> dict:
+        return self._make_rank(r, rank_mesh, ctx=old_rank["ctx"])
+
+    def _migration_spec(self) -> dict:
+        # every mesh field is recomputed before use each step; only the
+        # particles carry state across steps
+        return {"cell": (), "node": (), "part": ("pos", "vel", "lc"),
+                "c2n": self.gmesh.cell2node}
+
+    def _elastic_partition(self, weights) -> np.ndarray:
+        from repro.runtime import diffusive
+        dx = self.cfg.lx / self.cfg.nx
+        keys = np.clip(np.floor(self.gmesh.centroids[:, 0] / dx),
+                       0, self.cfg.nx - 1).astype(np.int64)
+        return diffusive(self._centroids3, self.nranks, weights=weights,
+                         axis=0, keys=keys)

@@ -33,6 +33,22 @@ def _add_dist_flags(p: argparse.ArgumentParser) -> None:
                    choices=["sim", "proc"],
                    help="rank transport for --ranks: in-process "
                    "simulated ranks or real OS rank processes")
+    p.add_argument("--rebalance", default="never",
+                   choices=["never", "auto", "always"],
+                   help="online load rebalancing with live mesh/"
+                   "particle migration (auto = only when the EWMA cost "
+                   "model says a repartition amortises)")
+    p.add_argument("--rebalance-every", type=int, default=1, metavar="N",
+                   help="check the rebalance policy every N steps")
+    p.add_argument("--checkpoint-every", type=int, default=None,
+                   metavar="N",
+                   help="write a distributed snapshot every N steps")
+    p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                   help="snapshot directory (default: ./ckpt_<app>)")
+    p.add_argument("--recover", action="store_true",
+                   help="resume from the newest snapshot in "
+                   "--checkpoint-dir; under --transport proc also "
+                   "relaunch dead ranks from it")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -154,9 +170,17 @@ def _run_dist_app(app: str, cfg, args) -> int:
     through when ``--ranks`` is given."""
     from repro.dist.driver import run_distributed
     from repro.dist.transport import RankFailure
+    ckpt_dir = args.checkpoint_dir
+    if ckpt_dir is None and (args.checkpoint_every or args.recover):
+        ckpt_dir = f"ckpt_{app}"
     try:
         res = run_distributed(app, cfg, nranks=args.ranks,
-                              transport=args.transport)
+                              transport=args.transport,
+                              rebalance=args.rebalance,
+                              rebalance_every=args.rebalance_every,
+                              checkpoint_every=args.checkpoint_every,
+                              checkpoint_dir=ckpt_dir,
+                              recover=args.recover)
     except RankFailure as failure:
         print(f"distributed run FAILED: {failure}", file=sys.stderr)
         return 1
@@ -173,8 +197,19 @@ def _run_dist_app(app: str, cfg, args) -> int:
         busy = res.busy_seconds_per_rank()
         print("busy seconds per rank: "
               + ", ".join(f"r{r}={b:.3f}" for r, b in enumerate(busy)))
+        print(f"load imbalance (max/mean busy): "
+              f"{res.rank_load_imbalance():.2f}")
         print(f"critical path {res.critical_path_seconds:.3f} s, "
               f"wall {res.wall_seconds:.3f} s")
+        if res.elastic is not None:
+            el = res.elastic
+            print(f"elastic: mode={el['mode']} "
+                  f"rebalances={el['rebalances']} skips={el['skips']} "
+                  f"snapshots={el['snapshots']} "
+                  f"cells_moved={el['cells_moved']} "
+                  f"particles_moved={el['particles_moved']}"
+                  + (f" restarts={res.restarts}" if res.restarts
+                     else ""))
         print(res.perf.report())
     return 0
 

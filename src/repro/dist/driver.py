@@ -80,6 +80,41 @@ def _close_backends(app) -> None:
             close()
 
 
+def _elastic_active(spec: dict) -> bool:
+    return bool((spec.get("rebalance") or "never") != "never"
+                or spec.get("checkpoint_every") or spec.get("recover")
+                or spec.get("_kill"))
+
+
+def _run_app(app, spec: dict):
+    """Run the app's step loop — directly, or under the elastic
+    controller when any rebalance/checkpoint/recovery option is on.
+    Returns ``(history, elastic_summary_or_None)``."""
+    if not _elastic_active(spec):
+        return app.run(spec.get("n_steps")), None
+    from ..elastic import ElasticController, latest_snapshot, \
+        restore_snapshot
+    kill = spec.get("_kill")
+    ctl = ElasticController(
+        app, mode=spec.get("rebalance") or "never",
+        check_every=int(spec.get("rebalance_every") or 1),
+        checkpoint_every=spec.get("checkpoint_every"),
+        checkpoint_dir=spec.get("checkpoint_dir"),
+        kill_rank=kill[0] if kill else None,
+        kill_step=kill[1] if kill else None)
+    start = 0
+    if spec.get("recover") and spec.get("checkpoint_dir"):
+        found = latest_snapshot(spec["checkpoint_dir"])
+        if found is not None:
+            start, elastic_state = restore_snapshot(app, found[1])
+            ctl.load_state(elastic_state)
+    n_steps = spec.get("n_steps")
+    if n_steps is None:
+        n_steps = app.cfg.n_steps
+    history = ctl.run(n_steps, start)
+    return history, ctl.stats()
+
+
 def _rank_entry(transport, spec: dict) -> dict:
     """Runs inside every rank process; the return value is the rank's
     report shipped back through the router."""
@@ -88,7 +123,7 @@ def _rank_entry(transport, spec: dict) -> dict:
     if spec.get("seed_ppc"):
         app.seed_uniform_plasma(int(spec["seed_ppc"]))
     try:
-        history = app.run(spec.get("n_steps"))
+        history, elastic = _run_app(app, spec)
     finally:
         _close_backends(app)
     wall = time.perf_counter() - t0
@@ -99,6 +134,7 @@ def _rank_entry(transport, spec: dict) -> dict:
             "solve_stats": solve_stats.to_dict() if solve_stats
             is not None else None,
             "perf": _rank_perf(app),
+            "elastic": elastic,
             "wall_seconds": wall}
 
 
@@ -120,6 +156,10 @@ class DistResult:
     wall_seconds: float = 0.0
     #: each rank process's own construction+run wall-clock
     rank_walls: List[float] = field(default_factory=list)
+    #: elastic-runtime summary (rebalances, snapshots, …) when on
+    elastic: Optional[dict] = None
+    #: rank-process relaunches the recovery supervisor performed
+    restarts: int = 0
 
     @property
     def perf(self) -> PerfRecorder:
@@ -140,6 +180,31 @@ class DistResult:
         many cores the host happens to have."""
         return max(self.busy_seconds_per_rank())
 
+    def rank_load_imbalance(self) -> float:
+        """max/mean busy seconds across ranks (1.0 = perfect balance;
+        the quantity online rebalancing drives down)."""
+        busy = [s for s in self.busy_seconds_per_rank() if s > 0.0]
+        if not busy:
+            return 0.0
+        return max(busy) * len(busy) / sum(busy)
+
+    def loop_imbalance(self) -> Dict[str, float]:
+        """Per-loop cross-rank imbalance, via
+        :attr:`~repro.perf.timers.LoopStats.load_imbalance` with one
+        'worker' per rank."""
+        from ..perf.timers import LoopStats
+        names = sorted({name for rec in self.rank_perf.values()
+                        for name in rec.loops})
+        out = {}
+        for name in names:
+            st = LoopStats(name)
+            st.worker_seconds = [
+                self.rank_perf[r].loops[name].seconds
+                if r in self.rank_perf and name in self.rank_perf[r].loops
+                else 0.0 for r in range(self.nranks)]
+            out[name] = st.load_imbalance
+        return out
+
 
 def _histories_agree(a: dict, b: dict) -> bool:
     if a.keys() != b.keys():
@@ -156,9 +221,27 @@ def run_distributed(app: str = "fempic", config=None, nranks: int = 2,
                     partition_method: Optional[str] = None,
                     ranks_per_node: Optional[int] = None,
                     op_timeout: float = DEFAULT_OP_TIMEOUT,
-                    max_frame_bytes: int = DEFAULT_MAX_FRAME
+                    max_frame_bytes: int = DEFAULT_MAX_FRAME,
+                    rebalance: str = "never",
+                    rebalance_every: int = 1,
+                    checkpoint_every: Optional[int] = None,
+                    checkpoint_dir=None,
+                    recover: bool = False,
+                    recover_ranks: Optional[int] = None,
+                    max_restarts: int = 2,
+                    kill: Optional[tuple] = None
                     ) -> DistResult:
-    """Run ``app`` on ``nranks`` ranks over the chosen transport."""
+    """Run ``app`` on ``nranks`` ranks over the chosen transport.
+
+    The elastic options: ``rebalance`` selects the online-repartition
+    mode (``never``/``auto``/``always``), checked every
+    ``rebalance_every`` steps; ``checkpoint_every``/``checkpoint_dir``
+    enable periodic distributed snapshots; ``recover`` resumes from the
+    newest snapshot *and* — under ``proc`` — arms the supervisor, which
+    relaunches the cluster (up to ``max_restarts`` times, optionally on
+    ``recover_ranks`` < nranks ranks) after a :class:`RankFailure`.
+    ``kill=(rank, step)`` injects a hard rank death for the recovery
+    tests."""
     if transport not in TRANSPORT_KINDS:
         raise ValueError(f"unknown transport {transport!r}; expected "
                          f"one of {TRANSPORT_KINDS}")
@@ -167,7 +250,12 @@ def run_distributed(app: str = "fempic", config=None, nranks: int = 2,
     spec = {"app": app, "config": config, "n_steps": n_steps,
             "seed_ppc": seed_ppc, "backend": backend,
             "partition_method": partition_method,
-            "ranks_per_node": ranks_per_node}
+            "ranks_per_node": ranks_per_node,
+            "rebalance": rebalance, "rebalance_every": rebalance_every,
+            "checkpoint_every": checkpoint_every,
+            "checkpoint_dir": str(checkpoint_dir)
+            if checkpoint_dir is not None else None,
+            "recover": recover, "_kill": kill}
 
     t0 = time.perf_counter()
     if transport == "sim":
@@ -176,7 +264,7 @@ def run_distributed(app: str = "fempic", config=None, nranks: int = 2,
         if seed_ppc:
             instance.seed_uniform_plasma(int(seed_ppc))
         try:
-            history = instance.run(n_steps)
+            history, elastic = _run_app(instance, spec)
         finally:
             _close_backends(instance)
         wall = time.perf_counter() - t0
@@ -187,12 +275,30 @@ def run_distributed(app: str = "fempic", config=None, nranks: int = 2,
             solve_stats=solve_stats,
             rank_perf={r: PerfRecorder.from_dict(p)
                        for r, p in _rank_perf(instance).items()},
-            wall_seconds=wall, rank_walls=[wall] * nranks)
+            wall_seconds=wall, rank_walls=[wall] * nranks,
+            elastic=elastic)
 
-    cluster = ProcCluster(nranks, _rank_entry, args=(spec,),
-                          op_timeout=op_timeout,
-                          max_frame_bytes=max_frame_bytes)
-    payloads = cluster.run()
+    restarts = 0
+    while True:
+        cluster = ProcCluster(nranks, _rank_entry, args=(spec,),
+                              op_timeout=op_timeout,
+                              max_frame_bytes=max_frame_bytes)
+        try:
+            payloads = cluster.run()
+            break
+        except RankFailure:
+            if not (recover and spec["checkpoint_dir"]) \
+                    or restarts >= max_restarts:
+                raise
+            from ..elastic import latest_snapshot
+            if latest_snapshot(spec["checkpoint_dir"]) is None:
+                raise            # nothing to resume from
+            restarts += 1
+            # relaunch from the newest snapshot; the injected kill must
+            # not fire again, and the survivor count may shrink
+            spec = dict(spec, _kill=None, recover=True)
+            if recover_ranks is not None:
+                nranks = recover_ranks
     wall = time.perf_counter() - t0
 
     history = payloads[0]["history"]
@@ -216,4 +322,5 @@ def run_distributed(app: str = "fempic", config=None, nranks: int = 2,
         app=app, nranks=nranks, transport=transport, history=history,
         stats=stats, solve_stats=solve_stats, rank_perf=rank_perf,
         wall_seconds=wall,
-        rank_walls=[p["wall_seconds"] for p in payloads])
+        rank_walls=[p["wall_seconds"] for p in payloads],
+        elastic=payloads[0].get("elastic"), restarts=restarts)

@@ -1,0 +1,124 @@
+"""Load-imbalance measurement for the elastic runtime.
+
+The monitor consumes, at every policy check, the per-rank busy-seconds
+vector (from each rank's :class:`~repro.perf.timers.PerfRecorder`) and
+the per-rank particle counts.  Both vectors are gathered with one
+allreduce each (every rank contributes a one-hot vector), so every rank
+observes bit-identical values and the downstream policy decisions stay
+deterministic across ranks — the same requirement the halo plans have.
+
+Busy seconds are cumulative, so the monitor differences them between
+checks and smooths the resulting per-interval imbalance with an EWMA;
+a single slow step (a page fault, a GC pause) should not trigger a
+repartition on its own.
+"""
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["ImbalanceMonitor"]
+
+
+def _ewma(old: Optional[float], new: float, alpha: float) -> float:
+    return new if old is None else alpha * new + (1.0 - alpha) * old
+
+
+class ImbalanceMonitor:
+    """Tracks per-rank load and its max/mean imbalance over time."""
+
+    def __init__(self, nranks: int, alpha: float = 0.5):
+        self.nranks = int(nranks)
+        self.alpha = float(alpha)
+        #: busy-seconds vector at the previous check (cumulative)
+        self._prev_busy: Optional[np.ndarray] = None
+        #: busy seconds spent per rank in the last interval
+        self.interval_busy: Optional[np.ndarray] = None
+        #: EWMA of max/mean interval busy seconds (1.0 = balanced)
+        self.imbalance: Optional[float] = None
+        #: raw imbalance of the last interval
+        self.last_imbalance: Optional[float] = None
+        #: particle counts per rank at the last check
+        self.particles: Optional[np.ndarray] = None
+        self.n_checks = 0
+
+    # -- observations ---------------------------------------------------------
+
+    def observe(self, busy_per_rank, particles_per_rank) -> None:
+        """Record one check: cumulative busy seconds + particle counts."""
+        busy = np.asarray(busy_per_rank, dtype=np.float64)
+        if busy.shape != (self.nranks,):
+            raise ValueError("busy vector must have one entry per rank")
+        self.particles = np.asarray(particles_per_rank, dtype=np.int64)
+        if self._prev_busy is not None:
+            delta = busy - self._prev_busy
+            self.interval_busy = delta
+            mean = float(delta.mean())
+            raw = float(delta.max()) / mean if mean > 0 else 1.0
+            self.last_imbalance = raw
+            self.imbalance = _ewma(self.imbalance, raw, self.alpha)
+        self._prev_busy = busy
+        self.n_checks += 1
+
+    def reset_interval(self, busy_per_rank=None) -> None:
+        """Restart interval differencing (after a migration shuffled the
+        load, the pre-migration interval is no longer representative)."""
+        if busy_per_rank is not None:
+            self._prev_busy = np.asarray(busy_per_rank, dtype=np.float64)
+        self.imbalance = None
+        self.last_imbalance = None
+
+    # -- derived quantities ---------------------------------------------------
+
+    @property
+    def mean_interval_seconds(self) -> float:
+        """Mean per-rank busy seconds of the last interval."""
+        if self.interval_busy is None:
+            return 0.0
+        return float(self.interval_busy.mean())
+
+    @property
+    def excess_seconds(self) -> float:
+        """Projected per-interval saving of perfect balance: the busy
+        time of the slowest rank above the mean (the critical-path
+        reduction a repartition could at best achieve)."""
+        if self.interval_busy is None:
+            return 0.0
+        return float(self.interval_busy.max() - self.interval_busy.mean())
+
+    # -- (de)serialisation for checkpoints ------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "nranks": self.nranks, "alpha": self.alpha,
+            "prev_busy": None if self._prev_busy is None
+            else self._prev_busy.tolist(),
+            "interval_busy": None if self.interval_busy is None
+            else self.interval_busy.tolist(),
+            "imbalance": self.imbalance,
+            "last_imbalance": self.last_imbalance,
+            "particles": None if self.particles is None
+            else self.particles.tolist(),
+            "n_checks": self.n_checks,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ImbalanceMonitor":
+        mon = cls(payload["nranks"], payload["alpha"])
+        if payload["prev_busy"] is not None:
+            mon._prev_busy = np.asarray(payload["prev_busy"])
+        if payload["interval_busy"] is not None:
+            mon.interval_busy = np.asarray(payload["interval_busy"])
+        mon.imbalance = payload["imbalance"]
+        mon.last_imbalance = payload["last_imbalance"]
+        if payload["particles"] is not None:
+            mon.particles = np.asarray(payload["particles"],
+                                       dtype=np.int64)
+        mon.n_checks = payload["n_checks"]
+        return mon
+
+    def __repr__(self) -> str:
+        fmt = (lambda v: "?" if v is None else f"{v:.3g}")
+        return (f"<ImbalanceMonitor ranks={self.nranks} "
+                f"imbalance={fmt(self.imbalance)} checks={self.n_checks}>")

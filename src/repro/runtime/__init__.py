@@ -5,10 +5,11 @@ from .dh import DirectHopGlobalMover, direct_hop_assign
 from .exchange import migrate, mpi_particle_move, pack_particles
 from .halo import (HaloPlan, RankMesh, build_rank_meshes, push_cell_halos,
                    push_node_halos, reduce_cell_halos, reduce_node_halos)
-from .partition import edge_cut, partition
+from .partition import diffusive, edge_cut, migration_volume, partition
 from .rma import RMAWindow
 
-__all__ = ["SimComm", "CommStats", "partition", "edge_cut",
+__all__ = ["SimComm", "CommStats", "partition", "edge_cut", "diffusive",
+           "migration_volume",
            "build_rank_meshes", "RankMesh", "HaloPlan", "push_cell_halos",
            "push_node_halos", "reduce_cell_halos", "reduce_node_halos", "migrate",
            "mpi_particle_move", "pack_particles", "RMAWindow",

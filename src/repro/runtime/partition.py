@@ -10,7 +10,11 @@ ParMETIS as the general option.  We provide:
 * ``graph`` — recursive Kernighan–Lin graph bisection via networkx (the
   METIS substitute);
 * ``block`` — contiguous index blocks (the naive baseline for the
-  partitioner ablation).
+  partitioner ablation);
+* ``diffusive`` — incremental *weighted* slab decomposition for online
+  rebalancing: only the slab boundaries shift between calls, so the
+  migration volume of a repartition stays proportional to the load
+  drift, not the mesh size.
 
 All return ``cell_owner``: the owning rank of every global cell.
 """
@@ -21,7 +25,8 @@ from typing import Optional
 import numpy as np
 
 __all__ = ["partition", "principal_direction", "rcb", "graph_partition",
-           "spectral", "block"]
+           "spectral", "block", "diffusive", "edge_cut",
+           "migration_volume"]
 
 
 def block(n_cells: int, nranks: int) -> np.ndarray:
@@ -146,14 +151,83 @@ def spectral(c2c: np.ndarray, nranks: int) -> np.ndarray:
     return owner
 
 
+def diffusive(centroids: np.ndarray, nranks: int,
+              weights: Optional[np.ndarray] = None, axis: int = 2,
+              keys: Optional[np.ndarray] = None) -> np.ndarray:
+    """Weighted slab decomposition with atomic layer groups.
+
+    Cells are ordered along ``axis`` and grouped into *layers* — runs of
+    equal ``keys`` (default: the exact centroid coordinate).  Layers are
+    then dealt to ranks in order, cutting where the cumulative weight
+    crosses ``k·W/nranks``.  A layer is never split, so a boundary only
+    ever shifts by whole layers between calls — the incremental
+    ("diffusive") behaviour online rebalancing needs: cells far from a
+    shifting boundary keep their owner.  Every rank receives at least
+    one layer.
+    """
+    n = centroids.shape[0]
+    if keys is None:
+        keys = centroids[:, axis]
+    keys = np.asarray(keys)
+    order = np.argsort(keys, kind="stable")
+    sk = keys[order]
+    # layer starts: positions where the sorted key changes
+    starts = np.flatnonzero(np.concatenate([[True], sk[1:] != sk[:-1]]))
+    n_layers = starts.size
+    if n_layers < nranks:
+        raise ValueError(f"diffusive needs at least one layer per rank: "
+                         f"{n_layers} layers < {nranks} ranks")
+    if weights is None:
+        w = np.ones(n)
+    else:
+        w = np.asarray(weights, dtype=np.float64)
+        if w.shape != (n,):
+            raise ValueError("weights must give one value per cell")
+        if (w < 0).any():
+            raise ValueError("cell weights must be non-negative")
+    # a small per-cell floor keeps zero-weight regions evenly spread
+    # instead of lumping them all onto the last rank
+    total = float(w.sum())
+    w = w + (total if total > 0 else float(n)) * 1e-3 / n
+    layer_w = np.add.reduceat(w[order], starts)
+    cum = np.cumsum(layer_w)
+    grand = cum[-1]
+
+    owner_of_layer = np.empty(n_layers, dtype=np.int64)
+    start = 0
+    for k in range(nranks):
+        if k == nranks - 1:
+            end = n_layers
+        else:
+            target = grand * (k + 1) / nranks
+            end = int(np.searchsorted(cum, target, side="left")) + 1
+            # leave at least one layer for every remaining rank, and
+            # keep at least one for this rank
+            end = min(end, n_layers - (nranks - 1 - k))
+            end = max(end, start + 1)
+        owner_of_layer[start:end] = k
+        start = end
+
+    ends = np.concatenate([starts[1:], [n]])
+    owner = np.empty(n, dtype=np.int64)
+    for li in range(n_layers):
+        owner[order[starts[li]:ends[li]]] = owner_of_layer[li]
+    return owner
+
+
 def partition(method: str, nranks: int, *,
               centroids: Optional[np.ndarray] = None,
               c2c: Optional[np.ndarray] = None,
               n_cells: Optional[int] = None,
-              axis: int = 2) -> np.ndarray:
+              axis: int = 2,
+              weights: Optional[np.ndarray] = None) -> np.ndarray:
     """Dispatch by method name; see module docstring."""
     if nranks < 1:
         raise ValueError("nranks must be >= 1")
+    if method == "diffusive":
+        if centroids is None:
+            raise ValueError("diffusive needs centroids")
+        return diffusive(centroids, nranks, weights=weights, axis=axis)
     if method == "block":
         if n_cells is None:
             n_cells = len(centroids) if centroids is not None else len(c2c)
@@ -185,3 +259,26 @@ def edge_cut(c2c: np.ndarray, owner: np.ndarray) -> int:
     ok = dst >= 0
     cut = owner[src[ok]] != owner[dst[ok]]
     return int(cut.sum()) // 2
+
+
+def migration_volume(owner_before: np.ndarray, owner_after: np.ndarray,
+                     cell_weights: Optional[np.ndarray] = None) -> float:
+    """Total (weighted) cell load a repartition moves between ranks.
+
+    The companion metric to :func:`edge_cut`: where edge-cut scores a
+    partition's *steady-state* halo traffic, migration volume scores the
+    one-off cost of *switching* to it — the sum of the weights of every
+    cell whose owner changes.  With ``cell_weights=None`` each cell
+    counts 1 (the metric is then simply the number of cells that move).
+    """
+    before = np.asarray(owner_before)
+    after = np.asarray(owner_after)
+    if before.shape != after.shape:
+        raise ValueError("owner arrays must have the same shape")
+    moved = before != after
+    if cell_weights is None:
+        return float(moved.sum())
+    w = np.asarray(cell_weights, dtype=np.float64)
+    if w.shape != before.shape:
+        raise ValueError("cell_weights must give one weight per cell")
+    return float(w[moved].sum())

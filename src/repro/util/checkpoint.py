@@ -5,12 +5,15 @@ captures every dat, the particle-to-cell map, the particle set size and
 the RNG state of a simulation object, and restores them bit-exactly so a
 restarted run continues the original trajectory.
 
-Works with any object that exposes its DSL handles as attributes (both
-``FemPicSimulation`` and ``CabanaSimulation`` do); the dats and maps are
-discovered automatically.
+Works with any object that exposes its DSL handles as attributes (all
+four single-node apps do) *or* as mapping entries (the distributed twod
+app's per-rank dicts); the dats and maps are discovered automatically.
+The payload/restore helpers are shared with the distributed per-rank
+snapshots of :mod:`repro.elastic.recover`.
 """
 from __future__ import annotations
 
+from collections.abc import Mapping
 from pathlib import Path
 from typing import Union
 
@@ -20,16 +23,19 @@ from ..core.dats import Dat
 from ..core.maps import Map
 from ..core.sets import ParticleSet, Set
 
-__all__ = ["save_checkpoint", "load_checkpoint"]
+__all__ = ["save_checkpoint", "load_checkpoint", "state_payload",
+           "restore_state", "CHECKPOINT_FORMAT"]
 
-_FORMAT = 1
+CHECKPOINT_FORMAT = 1
+_FORMAT = CHECKPOINT_FORMAT
 
 
 def _handles(sim):
-    """Discover the simulation's sets, dats and particle maps."""
+    """Discover the object's sets, dats and particle maps (the object's
+    DSL handles may be attributes or mapping entries)."""
+    items = sim.items() if isinstance(sim, Mapping) else vars(sim).items()
     sets, dats, pmaps = {}, {}, {}
-    for name in vars(sim):
-        obj = getattr(sim, name)
+    for name, obj in items:
         if isinstance(obj, Dat):
             dats[name] = obj
         elif isinstance(obj, Map) and obj.is_particle_map:
@@ -42,18 +48,53 @@ def _handles(sim):
     return sets, dats, pmaps
 
 
-def save_checkpoint(sim, path: Union[str, Path]) -> Path:
-    """Write the full restartable state of ``sim`` to ``path`` (.npz)."""
-    path = Path(path)
+def state_payload(sim) -> dict:
+    """The restartable state of one object's DSL handles as a flat
+    name → array dict (``set__``/``dat__``/``pmap__`` keys)."""
     sets, dats, pmaps = _handles(sim)
-    payload = {"__format__": np.array([_FORMAT]),
-               "__step__": np.array([getattr(sim, "step_count", 0)])}
+    payload = {}
     for name, s in sets.items():
         payload[f"set__{name}"] = np.array([s.size, s.owned_size])
     for name, d in dats.items():
         payload[f"dat__{name}"] = d.data.copy()
     for name, m in pmaps.items():
         payload[f"pmap__{name}"] = m.p2c.copy()
+    return payload
+
+
+def restore_state(sim, data, source: str = "checkpoint") -> None:
+    """Restore an object's DSL handles from a :func:`state_payload`-style
+    mapping (``data`` may be an open npz file or a plain dict)."""
+    sets, dats, pmaps = _handles(sim)
+    files = data.files if hasattr(data, "files") else data.keys()
+    # restore particle-set sizes first so dat views cover the rows
+    for name, s in sets.items():
+        key = f"set__{name}"
+        if key not in files:
+            raise ValueError(f"{source}: checkpoint lacks set {name!r} — "
+                             "configuration mismatch")
+        size, owned = (int(v) for v in data[key])
+        if isinstance(s, ParticleSet):
+            s.ensure_capacity(size)
+            s.size = size
+            s.injected_start = size
+            s.order.invalidate()
+        elif s.size != size:
+            raise ValueError(f"{source}: mesh set {name!r} has {s.size} "
+                             f"elements, checkpoint has {size}")
+    for name, d in dats.items():
+        arr = data[f"dat__{name}"]
+        d.data[:] = arr
+    for name, m in pmaps.items():
+        m.p2c[:] = data[f"pmap__{name}"]
+
+
+def save_checkpoint(sim, path: Union[str, Path]) -> Path:
+    """Write the full restartable state of ``sim`` to ``path`` (.npz)."""
+    path = Path(path)
+    payload = {"__format__": np.array([_FORMAT]),
+               "__step__": np.array([getattr(sim, "step_count", 0)])}
+    payload.update(state_payload(sim))
     rng = getattr(sim, "rng", None)
     if rng is not None:
         import pickle
@@ -67,29 +108,12 @@ def load_checkpoint(sim, path: Union[str, Path]) -> int:
     """Restore ``sim`` (a freshly constructed simulation with the same
     configuration) from a checkpoint; returns the restored step count."""
     path = Path(path)
-    sets, dats, pmaps = _handles(sim)
     with np.load(path) as data:
         if int(data["__format__"][0]) != _FORMAT:
-            raise ValueError(f"{path}: unsupported checkpoint format")
-        # restore particle-set sizes first so dat views cover the rows
-        for name, s in sets.items():
-            key = f"set__{name}"
-            if key not in data.files:
-                raise ValueError(f"{path}: checkpoint lacks set {name!r} — "
-                                 "configuration mismatch")
-            size, owned = (int(v) for v in data[key])
-            if isinstance(s, ParticleSet):
-                s.ensure_capacity(size)
-                s.size = size
-                s.injected_start = size
-            elif s.size != size:
-                raise ValueError(f"{path}: mesh set {name!r} has {s.size} "
-                                 f"elements, checkpoint has {size}")
-        for name, d in dats.items():
-            arr = data[f"dat__{name}"]
-            d.data[:] = arr
-        for name, m in pmaps.items():
-            m.p2c[:] = data[f"pmap__{name}"]
+            raise ValueError(f"{path}: unsupported checkpoint format "
+                             f"{int(data['__format__'][0])} (expected "
+                             f"{_FORMAT})")
+        restore_state(sim, data, source=str(path))
         if "__rng__" in data.files and getattr(sim, "rng", None) is not None:
             import pickle
             sim.rng.bit_generator.state = pickle.loads(

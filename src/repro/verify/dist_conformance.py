@@ -140,7 +140,8 @@ def _global_arrays(case: DistCase) -> dict:
 class _DistRank:
     """One rank's DSL declarations of the partitioned mini-world."""
 
-    def __init__(self, r: int, case: DistCase, g: dict, rank_mesh):
+    def __init__(self, r: int, case: DistCase, g: dict, rank_mesh,
+                 seed_particles: bool = True):
         self.ctx = Context("seq")
         self.rm = rank_mesh
         cg = rank_mesh.cells_global
@@ -150,7 +151,11 @@ class _DistRank:
         self.cells.owned_size = rank_mesh.n_owned_cells
         self.nodes = decl_set(rank_mesh.n_local_nodes, f"dnodes_r{r}")
         self.nodes.owned_size = rank_mesh.n_owned_nodes
-        mine = np.flatnonzero(g["cell_owner"][g["part_cell"]] == r)
+        # declare-only mode (seed_particles=False) rebuilds the DSL
+        # objects for a live repartition; the migration engine then
+        # fills in the dynamic state
+        mine = np.flatnonzero(g["cell_owner"][g["part_cell"]] == r) \
+            if seed_particles else np.empty(0, dtype=np.int64)
         self.parts = decl_particle_set(self.cells, mine.size,
                                        f"dparts_r{r}")
 
@@ -219,6 +224,7 @@ def _build_dist_world(case: DistCase, comm) -> dict:
     mover = DirectHopGlobalMover(overlay, comm, plan, meshes)
     return {"case": case, "comm": comm, "plan": plan, "meshes": meshes,
             "ranks": ranks, "mover": mover, "n_removed": 0,
+            "g": g, "n_rebalances": 0,
             "g_hist": {"sum": [], "min": [], "max": []}}
 
 
@@ -358,6 +364,75 @@ def _op_dh_move(world: dict) -> None:
     _op_move(world)
 
 
+class _WorldApp:
+    """Adapter giving the conformance world the duck-typed app contract
+    the elastic migration engine expects."""
+
+    def __init__(self, world: dict):
+        self._world = world
+        self.comm = world["comm"]
+        self.nranks = self.comm.nranks
+        self.meshes = world["meshes"]
+        self.plan = world["plan"]
+        self.ranks = world["ranks"]
+        self.cell_owner = world["g"]["cell_owner"]
+
+    def _build_partition(self, new_owner, nranks=None):
+        g = self._world["g"]
+        return build_rank_meshes(g["c2c"], new_owner,
+                                 nranks if nranks is not None
+                                 else self.nranks, c2n=g["c2n"])
+
+    def _rebuild_rank(self, r, rank_mesh, old_rank):
+        rk = _DistRank(r, self._world["case"], self._world["g"],
+                       rank_mesh, seed_particles=False)
+        rk.ctx = old_rank.ctx
+        return rk
+
+    def _migration_spec(self):
+        # per-rank global accumulators never reset between ops, so they
+        # are carried across the repartition rank-for-rank
+        return {"cell": ("cell_acc", "cell_hits"),
+                "node": ("node_a", "node_b"),
+                "part": ("pos", "w", "out", "pid"),
+                "globals": ("g_sum", "g_min", "g_max"),
+                "c2n": self._world["g"]["c2n"]}
+
+    def _post_rebalance(self):
+        w = self._world
+        case = w["case"]
+        w["meshes"], w["plan"], w["ranks"] = \
+            self.meshes, self.plan, self.ranks
+        w["g"]["cell_owner"] = np.asarray(self.cell_owner)
+        overlay = StructuredOverlay(
+            lo=[0.0, 0.0, 0.0], hi=[float(case.n_cells), 1.0, 1.0],
+            dims=[case.n_cells, 1, 1],
+            cell_map=np.arange(case.n_cells, dtype=np.int64),
+            rank_map=w["g"]["cell_owner"])
+        w["mover"] = DirectHopGlobalMover(overlay, self.comm, self.plan,
+                                          self.meshes)
+
+
+def _op_rebalance(world: dict) -> None:
+    """Live repartition mid-program: shift the chain's slab boundaries
+    with a deterministic rotating weight pattern and migrate everything.
+    The contract under test: the assembled global state is bit-equal to
+    the never-migrated run's."""
+    case = world["case"]
+    if world["comm"].nranks == 1:
+        return                       # the oracle never repartitions
+    from ..elastic.migrate import rebalance as elastic_rebalance
+    from ..runtime.partition import diffusive
+    world["n_rebalances"] += 1
+    idx = np.arange(case.n_cells, dtype=np.int64)
+    weights = 1.0 + ((idx + world["n_rebalances"]) % 3)
+    centroids = np.column_stack([idx + 0.5, np.zeros(case.n_cells),
+                                 np.zeros(case.n_cells)])
+    new_owner = diffusive(centroids, world["comm"].nranks,
+                          weights=weights, axis=0, keys=idx)
+    elastic_rebalance(_WorldApp(world), new_owner)
+
+
 DIST_OPS: Dict[str, Callable[[dict], None]] = {
     "deposit_nodes": _op_deposit_nodes,
     "cell_neighbor_inc": _op_cell_neighbor_inc,
@@ -366,6 +441,7 @@ DIST_OPS: Dict[str, Callable[[dict], None]] = {
     "gbl_reduce": _op_gbl_reduce,
     "move": _op_move,
     "dh_move": _op_dh_move,
+    "rebalance": _op_rebalance,
 }
 DIST_OP_NAMES = tuple(sorted(DIST_OPS))
 

@@ -1,0 +1,127 @@
+"""Elastic runtime decision layer: monitor maths and policy triggers."""
+import numpy as np
+import pytest
+
+from repro.elastic import ImbalanceMonitor, RebalancePolicy
+from repro.elastic.policy import REBALANCE_MODES
+
+
+def _mon(nranks=4, alpha=1.0):
+    return ImbalanceMonitor(nranks, alpha=alpha)
+
+
+def test_monitor_differences_cumulative_busy():
+    mon = _mon(2)
+    mon.observe([10.0, 10.0], [5, 5])
+    assert mon.imbalance is None          # no complete interval yet
+    mon.observe([11.0, 13.0], [5, 5])     # interval: [1, 3] → max/mean = 1.5
+    assert mon.last_imbalance == pytest.approx(1.5)
+    assert mon.imbalance == pytest.approx(1.5)
+    assert mon.excess_seconds == pytest.approx(3.0 - 2.0)
+    assert mon.mean_interval_seconds == pytest.approx(2.0)
+
+
+def test_monitor_ewma_smooths_spikes():
+    mon = _mon(2, alpha=0.5)
+    mon.observe([0.0, 0.0], [1, 1])
+    mon.observe([1.0, 1.0], [1, 1])       # balanced: raw 1.0
+    mon.observe([1.5, 4.0], [1, 1])       # spike: raw [0.5,3.0] → 1.714…
+    raw = 3.0 / 1.75
+    assert mon.last_imbalance == pytest.approx(raw)
+    assert mon.imbalance == pytest.approx(0.5 * raw + 0.5 * 1.0)
+    assert mon.imbalance < mon.last_imbalance
+
+
+def test_monitor_reset_interval_clears_imbalance():
+    mon = _mon(2)
+    mon.observe([0.0, 0.0], [1, 1])
+    mon.observe([1.0, 3.0], [1, 1])
+    assert mon.imbalance is not None
+    mon.reset_interval()
+    assert mon.imbalance is None
+    # differencing continues from the retained cumulative vector
+    mon.observe([2.0, 6.0], [1, 1])
+    assert mon.last_imbalance == pytest.approx(3.0 / 2.0)
+
+
+def test_monitor_rejects_wrong_shape():
+    with pytest.raises(ValueError):
+        _mon(3).observe([1.0, 2.0], [1, 1])
+
+
+def test_monitor_round_trip():
+    mon = _mon(3, alpha=0.25)
+    mon.observe([1.0, 2.0, 3.0], [4, 5, 6])
+    mon.observe([2.0, 4.0, 9.0], [4, 5, 6])
+    clone = ImbalanceMonitor.from_dict(mon.to_dict())
+    assert clone.to_dict() == mon.to_dict()
+    # both continue identically
+    mon.observe([3.0, 5.0, 10.0], [4, 5, 6])
+    clone.observe([3.0, 5.0, 10.0], [4, 5, 6])
+    assert clone.imbalance == mon.imbalance
+
+
+def _ready_monitor(imbalance_pair=(1.0, 9.0), particles=500):
+    mon = _mon(2)
+    mon.observe([0.0, 0.0], [particles // 2, particles - particles // 2])
+    mon.observe(list(imbalance_pair),
+                [particles // 2, particles - particles // 2])
+    return mon
+
+
+def test_policy_mode_validation():
+    assert set(REBALANCE_MODES) == {"never", "auto", "always"}
+    with pytest.raises(ValueError):
+        RebalancePolicy("sometimes")
+
+
+def test_policy_never_is_off():
+    pol = RebalancePolicy("never")
+    assert not pol.enabled
+    assert not pol.should_rebalance(_ready_monitor())
+
+
+def test_policy_respects_threshold_and_floor():
+    pol = RebalancePolicy("always", threshold=1.2, min_particles=64)
+    assert pol.should_rebalance(_ready_monitor())
+    # balanced load → no trigger
+    assert not pol.should_rebalance(_ready_monitor((5.0, 5.0)))
+    # too few particles → bookkeeping dominates, no trigger
+    assert not pol.should_rebalance(_ready_monitor(particles=10))
+    # no complete interval → no trigger
+    fresh = _mon(2)
+    fresh.observe([0.0, 0.0], [500, 500])
+    assert not pol.should_rebalance(fresh)
+
+
+def test_policy_auto_amortises_migration_cost():
+    pol = RebalancePolicy("auto", alpha=1.0)
+    mon = _ready_monitor((1.0, 9.0))      # excess = 4 s/interval
+    assert pol.should_rebalance(mon)      # optimistic bootstrap
+    pol.note_migration(100.0)             # a migration costing 100 s
+    pol.note_check()
+    # 4 s/interval × 1 interval lifetime < 100 s cost → skip
+    assert not pol.should_rebalance(mon)
+    assert pol.n_skips == 1
+    pol.note_migration(1.0)               # cheap migration re-learned
+    assert pol.migrate_seconds < 100.0
+    assert pol.should_rebalance(mon)
+
+
+def test_policy_always_ignores_cost_model():
+    pol = RebalancePolicy("always")
+    pol.note_migration(1e9)
+    assert pol.should_rebalance(_ready_monitor())
+
+
+def test_policy_round_trip():
+    pol = RebalancePolicy("auto", alpha=0.5, threshold=1.3,
+                          min_particles=10)
+    pol.note_check()
+    pol.note_migration(2.5)
+    pol.note_check()
+    pol.note_migration(3.5)
+    clone = RebalancePolicy.from_dict(pol.to_dict())
+    assert clone.to_dict() == pol.to_dict()
+    mon = _ready_monitor()
+    assert clone.should_rebalance(mon) == pol.should_rebalance(mon)

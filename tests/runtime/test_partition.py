@@ -79,3 +79,90 @@ def test_missing_inputs_raise():
         partition("graph", 2)
     with pytest.raises(ValueError):
         partition("rcb", 0, centroids=np.zeros((3, 3)))
+
+
+# -- diffusive (the elastic runtime's incremental repartitioner) --------------
+
+def test_diffusive_covers_and_respects_layers(mesh):
+    from repro.runtime import diffusive
+    owner = diffusive(mesh.centroids, 4)
+    counts = np.bincount(owner, minlength=4)
+    assert counts.sum() == mesh.n_cells
+    assert (counts > 0).all()
+    # layers (equal z) are atomic: one owner per layer
+    z = mesh.centroids[:, 2]
+    for layer in np.unique(z):
+        assert np.unique(owner[z == layer]).size == 1
+    # slabs in key order: rank boundaries are monotone along z
+    assert (np.diff(owner[np.argsort(z, kind="stable")]) >= 0).all()
+
+
+def test_diffusive_weights_shift_boundaries(mesh):
+    from repro.runtime import diffusive
+    uniform = diffusive(mesh.centroids, 3)
+    # load the low-z half → rank 0's slab shrinks toward low z
+    w = np.where(mesh.centroids[:, 2] < 1.5, 10.0, 1.0)
+    skew = diffusive(mesh.centroids, 3, weights=w)
+    assert not np.array_equal(uniform, skew)
+    z = mesh.centroids[:, 2]
+    assert z[skew == 0].max() < z[uniform == 0].max()
+
+
+def test_diffusive_is_incremental(mesh):
+    """A small weight change only moves cells near a slab boundary."""
+    from repro.runtime import diffusive, migration_volume
+    w = np.ones(mesh.n_cells)
+    before = diffusive(mesh.centroids, 4, weights=w)
+    w[mesh.centroids[:, 2] < 0.5] = 1.3
+    after = diffusive(mesh.centroids, 4, weights=w)
+    # boundaries shift by whole layers; most cells keep their owner
+    moved = migration_volume(before, after)
+    assert 0 < moved <= mesh.n_cells / 4
+
+
+def test_diffusive_needs_one_layer_per_rank():
+    from repro.runtime import diffusive
+    cent = np.zeros((6, 3))
+    cent[:, 2] = [0, 0, 1, 1, 2, 2]      # 3 layers
+    assert np.bincount(diffusive(cent, 3)).tolist() == [2, 2, 2]
+    with pytest.raises(ValueError):
+        diffusive(cent, 4)
+
+
+def test_diffusive_custom_keys_group_cells(mesh):
+    from repro.runtime import diffusive
+    # quantized keys: every cell with the same key stays together even
+    # when that merges several geometric layers
+    keys = (mesh.centroids[:, 2] // 1.0).astype(np.int64)
+    owner = diffusive(mesh.centroids, 2, keys=keys)
+    for k in np.unique(keys):
+        assert np.unique(owner[keys == k]).size == 1
+
+
+def test_diffusive_rejects_bad_weights(mesh):
+    from repro.runtime import diffusive
+    with pytest.raises(ValueError):
+        diffusive(mesh.centroids, 2, weights=np.ones(3))
+    with pytest.raises(ValueError):
+        diffusive(mesh.centroids, 2,
+                  weights=-np.ones(mesh.n_cells))
+
+
+def test_partition_dispatches_diffusive(mesh):
+    owner = partition("diffusive", 3, centroids=mesh.centroids)
+    from repro.runtime import diffusive
+    np.testing.assert_array_equal(owner, diffusive(mesh.centroids, 3))
+
+
+def test_migration_volume():
+    from repro.runtime import migration_volume
+    before = np.array([0, 0, 1, 1])
+    after = np.array([0, 1, 1, 0])
+    assert migration_volume(before, after) == 2.0
+    assert migration_volume(before, before) == 0.0
+    w = np.array([1.0, 10.0, 1.0, 100.0])
+    assert migration_volume(before, after, w) == 110.0
+    with pytest.raises(ValueError):
+        migration_volume(before, after[:2])
+    with pytest.raises(ValueError):
+        migration_volume(before, after, w[:2])

@@ -57,3 +57,52 @@ def test_non_simulation_rejected(tmp_path):
         pass
     with pytest.raises(ValueError):
         save_checkpoint(Empty(), tmp_path / "x.npz")
+
+
+def test_twod_restart_continues_exactly(tmp_path):
+    from repro.apps.twod import TwoDConfig, TwoDSheetModel
+    cfg = TwoDConfig(n_steps=0)
+    ref = TwoDSheetModel(cfg)
+    ref.run(6)
+
+    half = TwoDSheetModel(cfg)
+    half.run(3)
+    ckpt = save_checkpoint(half, tmp_path / "twod.npz")
+    resumed = TwoDSheetModel(cfg)
+    load_checkpoint(resumed, ckpt)   # twod keeps no step counter
+    resumed.run(3)
+
+    np.testing.assert_array_equal(resumed.phi.data, ref.phi.data)
+    np.testing.assert_array_equal(resumed.pos.data, ref.pos.data)
+    assert resumed.history["field_energy"] == ref.history["field_energy"][3:]
+
+
+def test_advec_restart_continues_exactly(tmp_path):
+    from repro.apps.advec import AdvecConfig, AdvecSimulation
+    cfg = AdvecConfig()
+    ref = AdvecSimulation(cfg)
+    ref.run(6)
+
+    half = AdvecSimulation(cfg)
+    half.run(3)
+    ckpt = save_checkpoint(half, tmp_path / "advec.npz")
+    resumed = AdvecSimulation(cfg)
+    assert load_checkpoint(resumed, ckpt) == 3
+    resumed.run(3)
+
+    np.testing.assert_array_equal(resumed.pos.data, ref.pos.data)
+    np.testing.assert_array_equal(resumed.disp.data, ref.disp.data)
+    assert resumed.parts.size == ref.parts.size
+
+
+def test_format_version_mismatch_rejected(tmp_path):
+    from repro.util.checkpoint import CHECKPOINT_FORMAT
+    sim = FemPicSimulation(FemPicConfig.smoke())
+    ckpt = save_checkpoint(sim, tmp_path / "v.npz")
+    with np.load(ckpt) as data:
+        payload = {k: data[k] for k in data.files}
+    payload["__format__"] = np.array([CHECKPOINT_FORMAT + 1])
+    np.savez_compressed(ckpt, **payload)
+    fresh = FemPicSimulation(FemPicConfig.smoke())
+    with pytest.raises(ValueError, match="format"):
+        load_checkpoint(fresh, ckpt)
