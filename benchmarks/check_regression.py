@@ -12,7 +12,18 @@ direction is good:
 * ``"equal"``  — the current value must equal the baseline exactly
   (deterministic counts; no tolerance applies);
 * ``"higher"`` — regression when current < baseline * (1 - tolerance);
-* ``"lower"``  — regression when current > baseline * (1 + tolerance).
+* ``"lower"`` — regression when current > baseline * (1 + tolerance);
+* ``"min_ratio"`` — the ratio of two dotted-path keys of the *current*
+  payload (``numerator`` / ``denominator``, e.g.
+  ``seconds.deposit_segmented`` over ``seconds.deposit_sparse``) must be
+  at least ``min`` · (1 - tolerance).  Unlike the relative directions
+  this is an absolute floor on a self-normalising quantity — the 2×
+  sparse-vs-segmented speedup gate — so it never drifts with the
+  baseline's own numbers.  Per-gate ``tolerance`` defaults to 0 here
+  (the threshold already encodes the headroom).
+
+The same floor can be imposed from the command line without touching the
+baseline: ``--min-ratio seconds.a/seconds.b=2.0`` (repeatable).
 
 Only gated metrics are compared; everything else in the payload is
 informational (absolute wall-clock on shared runners is noise, ratios and
@@ -26,14 +37,52 @@ import sys
 from pathlib import Path
 
 
+def lookup_path(payload: dict, dotted: str):
+    """Resolve a dotted key path (``seconds.deposit_sparse``) or None."""
+    cur = payload
+    for part in dotted.split("."):
+        if not isinstance(cur, dict) or part not in cur:
+            return None
+        cur = cur[part]
+    return cur
+
+
+def _check_min_ratio(gate: dict, current: dict, failures: list) -> None:
+    num_key = gate["numerator"]
+    den_key = gate["denominator"]
+    label = gate.get("metric", f"{num_key}/{den_key}")
+    floor = float(gate["min"]) * (1.0 - float(gate.get("tolerance", 0.0)))
+    num = lookup_path(current, num_key)
+    den = lookup_path(current, den_key)
+    if not isinstance(num, (int, float)) or isinstance(num, bool):
+        failures.append(f"{label}: numerator {num_key!r} missing or "
+                        f"non-numeric in current payload")
+        return
+    if not isinstance(den, (int, float)) or isinstance(den, bool):
+        failures.append(f"{label}: denominator {den_key!r} missing or "
+                        f"non-numeric in current payload")
+        return
+    if den == 0:
+        failures.append(f"{label}: denominator {den_key!r} is zero")
+        return
+    ratio = num / den
+    if ratio < floor:
+        failures.append(
+            f"{label}: ratio {ratio:.4g} < required {floor:.4g} "
+            f"({num_key}={num:.4g}, {den_key}={den:.4g})")
+
+
 def compare(baseline: dict, current: dict, tolerance: float) -> list:
     """Return a list of human-readable regression messages (empty = pass)."""
     failures = []
     base_metrics = baseline.get("metrics", {})
     cur_metrics = current.get("metrics", {})
     for gate in baseline.get("gates", []):
-        name = gate["metric"]
         direction = gate["direction"]
+        if direction == "min_ratio":
+            _check_min_ratio(gate, current, failures)
+            continue
+        name = gate["metric"]
         tol = float(gate.get("tolerance", tolerance))
         if name not in cur_metrics:
             failures.append(f"{name}: missing from current payload")
@@ -68,6 +117,18 @@ def compare(baseline: dict, current: dict, tolerance: float) -> list:
     return failures
 
 
+def parse_min_ratio(spec: str) -> dict:
+    """``NUM/DEN=MIN`` → a ``min_ratio`` gate dict (CLI convenience)."""
+    try:
+        keys, threshold = spec.rsplit("=", 1)
+        num_key, den_key = keys.split("/", 1)
+        return {"direction": "min_ratio", "numerator": num_key.strip(),
+                "denominator": den_key.strip(), "min": float(threshold)}
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--min-ratio expects NUM_PATH/DEN_PATH=THRESHOLD, got {spec!r}")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Fail when a benchmark payload regresses vs a baseline")
@@ -75,13 +136,29 @@ def main(argv=None) -> int:
     parser.add_argument("current", help="freshly measured JSON")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed relative regression (default 25%%)")
+    parser.add_argument("--min-ratio", action="append", default=[],
+                        type=parse_min_ratio, metavar="NUM/DEN=MIN",
+                        help="extra ratio floor on the current payload, "
+                             "e.g. seconds.deposit_segmented/"
+                             "seconds.deposit_sparse=2.0 (repeatable)")
     args = parser.parse_args(argv)
 
     baseline = json.loads(Path(args.baseline).read_text())
     current = json.loads(Path(args.current).read_text())
+    if args.min_ratio:
+        baseline = dict(baseline)
+        baseline["gates"] = list(baseline.get("gates", [])) + args.min_ratio
     failures = compare(baseline, current, args.tolerance)
-    for metric in baseline.get("gates", []):
-        name = metric["metric"]
+    for gate in baseline.get("gates", []):
+        if gate["direction"] == "min_ratio":
+            num = lookup_path(current, gate["numerator"])
+            den = lookup_path(current, gate["denominator"])
+            ratio = (num / den if isinstance(num, (int, float))
+                     and isinstance(den, (int, float)) and den else None)
+            print(f"  {gate['numerator']}/{gate['denominator']}: "
+                  f"current={ratio!r} required>={gate['min']!r}")
+            continue
+        name = gate["metric"]
         print(f"  {name}: baseline={baseline.get('metrics', {}).get(name)!r}"
               f" current={current.get('metrics', {}).get(name)!r}")
     if failures:

@@ -20,10 +20,18 @@ Until both sides have been measured the tuner sorts optimistically —
 that is also what primes the estimates.  Modes: ``never`` (locality
 engine off — the default, keeping every existing code path bit-stable),
 ``always`` (sort whenever the order is invalid) and ``auto``.
+
+The same measured-cost machinery also arbitrates *per-loop strategy*
+choices for the Matrix-PIC sparse operator (``sparse`` modes
+never/auto/always): the tuner keeps an EWMA per-particle cost keyed on
+``(loop, kind, strategy)`` and :meth:`pick_strategy` returns the
+cheapest measured candidate, trying every unmeasured candidate first so
+the estimates prime themselves, then re-exploring periodically so a
+stale winner cannot lock in forever.
 """
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional, Sequence, Tuple
 
 __all__ = ["LocalityAutotuner"]
 
@@ -38,14 +46,22 @@ class LocalityAutotuner:
     """Decides when re-sorting a particle set pays for itself."""
 
     def __init__(self, mode: str = "never", alpha: float = 0.5,
-                 min_particles: int = 64):
+                 min_particles: int = 64, sparse: str = "never",
+                 explore_every: int = 64):
         if mode not in _MODES:
             raise ValueError(f"unknown locality mode {mode!r}; "
                              f"available: {_MODES}")
+        if sparse not in _MODES:
+            raise ValueError(f"unknown sparse mode {sparse!r}; "
+                             f"available: {_MODES}")
         self.mode = mode
+        self.sparse = sparse
         self.alpha = float(alpha)
         #: below this size the bookkeeping outweighs any win
         self.min_particles = int(min_particles)
+        #: every this many exploit picks of one (loop, kind), re-measure a
+        #: non-winning candidate so drifting costs get noticed
+        self.explore_every = int(explore_every)
         self.sort_pp: Optional[float] = None
         self.fast_pp: Optional[float] = None
         self.slow_pp: Optional[float] = None
@@ -53,6 +69,10 @@ class LocalityAutotuner:
         self._loops_since_sort = 0
         self.n_sorts = 0
         self.n_skips = 0
+        #: (loop, kind, strategy) -> EWMA per-particle seconds
+        self.strategy_costs: Dict[Tuple[str, str, str], float] = {}
+        #: (loop, kind) -> picks since creation (drives exploration)
+        self._picks: Dict[Tuple[str, str], int] = {}
 
     @property
     def enabled(self) -> bool:
@@ -97,6 +117,54 @@ class LocalityAutotuner:
             return True
         self.n_skips += 1
         return False
+
+    # -- per-loop strategy dispatch (Matrix-PIC vs segmented vs atomics) ------
+
+    def note_strategy_cost(self, loop: str, kind: str, strategy: str,
+                           n: int, seconds: float) -> None:
+        """Feed one measured execution of ``strategy`` on a loop's
+        gather/deposit (``kind``) over ``n`` particles into the EWMA."""
+        if n <= 0:
+            return
+        key = (loop, kind, strategy)
+        self.strategy_costs[key] = _ewma(
+            self.strategy_costs.get(key), seconds / n, self.alpha)
+
+    def pick_strategy(self, loop: str, kind: str,
+                      candidates: Sequence[str], n: int) -> str:
+        """Choose among ``candidates`` (first entry = the configured
+        default) for one ``(loop, kind)`` site from live measurements.
+
+        ``sparse="always"`` forces ``sparse_csr`` whenever it is a
+        candidate; ``"never"`` strips it.  Under ``"auto"`` the policy is
+        explore-then-exploit: any candidate without a measurement runs
+        next (priming the EWMA), after which the cheapest measured
+        per-particle cost wins, with a periodic re-measure of the
+        runner-up every ``explore_every`` picks.
+        """
+        candidates = list(candidates)
+        if not candidates:
+            raise ValueError("pick_strategy needs at least one candidate")
+        if self.sparse == "always":
+            if "sparse_csr" in candidates:
+                return "sparse_csr"
+            return candidates[0]
+        if self.sparse == "never" or n < self.min_particles:
+            picked = [c for c in candidates if c != "sparse_csr"]
+            return picked[0] if picked else candidates[0]
+        pick_key = (loop, kind)
+        count = self._picks.get(pick_key, 0)
+        self._picks[pick_key] = count + 1
+        measured = {c: self.strategy_costs.get((loop, kind, c))
+                    for c in candidates}
+        for c in candidates:            # explore: prime unmeasured arms
+            if measured[c] is None:
+                return c
+        ranked = sorted(candidates, key=lambda c: measured[c])
+        if self.explore_every > 0 and len(ranked) > 1 \
+                and count % self.explore_every == self.explore_every - 1:
+            return ranked[1]            # refresh the runner-up's estimate
+        return ranked[0]
 
     def __repr__(self) -> str:
         fmt = (lambda v: "?" if v is None else f"{v:.3g}")

@@ -133,6 +133,23 @@ def _zero_scatters(attached: dict, scatters: List) -> List[np.ndarray]:
     return views
 
 
+def _worker_inc(d: dict, target: np.ndarray, rows: np.ndarray,
+                buf: np.ndarray) -> None:
+    """One indirect-INC accumulation inside a worker.
+
+    When the master forced the ``sparse_csr`` strategy the chunk's
+    scatter lowers to the Matrix-PIC one-shot product (``P.T @ buf``);
+    the per-chunk operator is throwaway because workers hold no state
+    between tasks.  Integer data stays on exact ``np.add.at`` inside
+    ``sparse_deposit`` itself.
+    """
+    if d.get("sparse_inc"):
+        from .sparse_ops import sparse_deposit
+        sparse_deposit(target, rows, buf)
+    else:
+        np.add.at(target, rows, buf)
+
+
 def _run_parloop_chunk(msg: dict, attached: dict) -> dict:
     gen = _worker_kernel(msg["kernel"])
     _apply_consts(msg["const"])
@@ -190,11 +207,11 @@ def _run_parloop_chunk(msg: dict, attached: dict) -> dict:
             # segment decomposition: this worker's particles cover whole
             # cells, so its p2c target rows are disjoint from every other
             # worker's — increment the shared dat directly, no merge
-            np.add.at(data, rows, buf)
+            _worker_inc(d, data, rows, buf)
         else:
             # indirect INC → this worker's private scatter array
             scatter = scatters[d["scatter_group"]][: d["live"]]
-            np.add.at(scatter, rows, buf)
+            _worker_inc(d, scatter, rows, buf)
         if rows.size:
             max_coll = max(max_coll, int(np.bincount(rows).max()))
     return {"globals": globals_out, "collisions": max_coll,
@@ -231,7 +248,7 @@ def _run_move_deposit(dep: dict, gen, attached: dict, scatters: List,
                 data[rows] += buf       # particle rows are unique
             else:
                 scatter = scatters[d["scatter_group"]][: d["live"]]
-                np.add.at(scatter, rows, buf)
+                _worker_inc(d, scatter, rows, buf)
                 if rows.size:
                     max_coll = max(max_coll, int(np.bincount(rows).max()))
         else:
@@ -317,7 +334,7 @@ def _run_move_chunk(msg: dict, attached: dict) -> dict:
                     data[rows] += buf       # particle rows are unique
                 else:
                     scatter = scatters[d["scatter_group"]][: d["live"]]
-                    np.add.at(scatter, rows, buf)
+                    _worker_inc(d, scatter, rows, buf)
                     if rows.size:
                         max_coll = max(max_coll,
                                        int(np.bincount(rows).max()))
@@ -744,6 +761,8 @@ class MpBackend(VecBackend):
                         g = group_of[id(a.dat)] = len(groups)
                         groups.append(a.dat)
                     d["scatter_group"] = g
+                if self.strategy_name == "sparse_csr":
+                    d["sparse_inc"] = True
             descs.append(d)
 
         for w, (lo, hi) in enumerate(chunks):
@@ -873,6 +892,8 @@ class MpBackend(VecBackend):
                     g = group_of[id(a.dat)] = len(groups)
                     groups.append(a.dat)
                 d["scatter_group"] = g
+                if self.strategy_name == "sparse_csr":
+                    d["sparse_inc"] = True
             return d
 
         descs = [mk_desc(a) for a in loop.args]

@@ -63,6 +63,8 @@ class PlanCache:
         self._segments: Dict[int, Tuple] = {}
         self.segment_hits = 0
         self.segment_misses = 0
+        #: (id(p2c_map), id(map) or None, map_idx) -> CsrOperator
+        self._sparse_ops: Dict[Tuple, object] = {}
 
     @staticmethod
     def _key(loop: ParLoop, arg: Arg) -> Optional[Tuple]:
@@ -114,6 +116,24 @@ class PlanCache:
         self._segments[id(pset)] = (state, seg)
         return seg
 
+    def sparse_operator(self, p2c_map, map_=None, map_idx=None):
+        """The maintained Matrix-PIC operator for a (p2c, mesh-map) pair.
+
+        Created on first request and *refreshed* (incrementally, off the
+        order tracker's dirty counters) on every access, so callers always
+        see an operator consistent with the live particle state.  The
+        plan itself is handed down so a cell-sorted set assembles ``P.T``
+        straight from the cached segment offsets.
+        """
+        from .sparse_ops import CsrOperator
+        key = (id(p2c_map), id(map_) if map_ is not None else None, map_idx)
+        op = self._sparse_ops.get(key)
+        if op is None:
+            op = CsrOperator(p2c_map, map_=map_, map_idx=map_idx)
+            self._sparse_ops[key] = op
+        op.refresh(plan=self)
+        return op
+
     def clear(self) -> None:
         self._rows.clear()
         self.hits = 0
@@ -121,6 +141,7 @@ class PlanCache:
         self._segments.clear()
         self.segment_hits = 0
         self.segment_misses = 0
+        self._sparse_ops.clear()
 
     def __len__(self) -> int:
         return len(self._rows)

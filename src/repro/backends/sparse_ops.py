@@ -1,0 +1,365 @@
+"""Matrix-PIC sparse-operator engine.
+
+The two hottest indirect patterns of every PIC step — the field *gather*
+(cell/node → particle) and the charge/current *deposit* (particle →
+cell/node) — are linear maps, so both lower to products with one sparse
+interpolation operator ``P`` of shape ``(n_particles, n_targets)``
+(Matrix-PIC, arxiv 2601.08277; POLAR-PIC, arxiv 2604.19337):
+
+* gather:  ``u_p = P @ E``          (CSR SpMM, vendor-tuned)
+* deposit: ``q_t = P.T @ q_p``      (CSC accumulation, no atomics)
+
+Row ``i`` of ``P`` holds the shape weights of particle ``i`` against its
+target elements: for the DSL's single-point addressing kinds (``P2C`` and
+``DOUBLE``) that is one unit entry per row at column ``p2c[i]`` (or
+``mesh_map[p2c[i], idx]``); the full Matrix-PIC formulation with an
+arity-``k`` vertex stencil and per-particle shape weights is the
+``map_idx=None`` + ``weight_fn`` form used by the FEM tests.
+
+The operator is *maintained*, not rebuilt: :class:`CsrOperator` keeps a
+snapshot of the particle-to-cell column it was assembled from and, guided
+by :class:`~repro.core.particles.ParticleOrder`'s dirty counters, patches
+only the rows whose cell changed (moves), the rows a hole-fill teleported,
+or the tail rows an injection appended — each in place, because the row
+pitch is fixed so ``indptr`` never changes shape.  Only when the order
+tracker reports wholesale disorder (``dirty_fraction`` above
+``full_rebuild_threshold``) does it fall back to assembling from scratch;
+both paths produce bit-identical CSR arrays.  When the particle set is
+verifiably cell-sorted, the transpose ``P.T`` is assembled directly from
+the :class:`~repro.backends.plan.PlanCache` segment offsets (the
+``reduceat`` boundaries *are* its ``indptr``) instead of running a
+CSR→CSC conversion.
+
+Numerics: SpMM reassociates floating-point segment sums exactly like the
+``segmented_presorted`` strategy does — same sums, different addition
+order, ``allclose`` to the sequential oracle.  Integer deposits never
+enter the matrix path: they stay on exact ``np.add.at`` so integer data
+remains bit-equal to ``seq`` (see ``docs/performance_model.md``).
+
+``scipy`` is an optional dependency of this module alone: every entry
+point degrades explicitly (``have_scipy()`` / ``SparseUnavailable``)
+so environments without it keep every other strategy working.
+"""
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+__all__ = ["CsrOperator", "SparseUnavailable", "have_scipy",
+           "sparse_deposit"]
+
+
+def _scipy_sparse():
+    try:
+        import scipy.sparse as sp
+        return sp
+    except ImportError:  # pragma: no cover - scipy baked into the image
+        return None
+
+
+def have_scipy() -> bool:
+    """True when :mod:`scipy.sparse` is importable."""
+    return _scipy_sparse() is not None
+
+
+class SparseUnavailable(RuntimeError):
+    """The ``sparse_csr`` strategy was requested without scipy."""
+
+
+def _require_scipy():
+    sp = _scipy_sparse()
+    if sp is None:
+        raise SparseUnavailable(
+            "the sparse_csr strategy needs scipy.sparse; install scipy or "
+            "pick another reduction strategy")
+    return sp
+
+
+def sparse_deposit(target: np.ndarray, rows: np.ndarray,
+                   values: np.ndarray) -> int:
+    """One-shot ``target[rows] += values`` through a throwaway operator.
+
+    Builds ``P`` in O(1) extra work — with one entry per row, ``indptr``
+    is ``arange`` and ``indices`` *is* ``rows`` — and runs the deposit as
+    ``P.T @ values`` (a compiled CSC column sweep, no ufunc inner-loop
+    dispatch per element like ``np.add.at``).  Used for unplanned scatters
+    (static mesh maps, mp worker chunks) where no maintained operator
+    exists; returns the max collision multiplicity like every strategy.
+    """
+    sp = _require_scipy()
+    rows = np.asarray(rows)
+    values = np.asarray(values)
+    if rows.size == 0:
+        return 0
+    if rows.ndim != 1:
+        raise ValueError("sparse_deposit expects a flat row vector")
+    if np.issubdtype(target.dtype, np.integer) \
+            or np.issubdtype(values.dtype, np.integer):
+        # exact path: integer sums must stay bit-equal to seq, and float
+        # intermediates would silently round above 2**53
+        alive = rows >= 0
+        if not alive.all():
+            rows, values = rows[alive], values[alive]
+        np.add.at(target, rows, values)
+        return _max_multiplicity(rows)
+    alive = rows >= 0
+    if not alive.all():
+        rows, values = rows[alive], values[alive]
+        if rows.size == 0:
+            return 0
+    n = rows.size
+    vals2d = values if values.ndim == 2 else values.reshape(n, -1)
+    P = sp.csr_matrix(
+        (np.ones(n, dtype=target.dtype), rows,
+         np.arange(n + 1, dtype=np.int64)),
+        shape=(n, target.shape[0]))
+    # P.T is a zero-copy CSC view; @ dispatches to compiled csc_matvecs
+    target += np.asarray(P.T @ vals2d).reshape(target.shape[0], -1)
+    return _max_multiplicity(rows)
+
+
+def _max_multiplicity(rows: np.ndarray) -> int:
+    if rows.size == 0:
+        return 0
+    return int(np.bincount(rows).max())
+
+
+class CsrOperator:
+    """Incrementally-maintained CSR interpolation operator ``P``.
+
+    Parameters
+    ----------
+    p2c_map:
+        The particle-to-cell map; its ``from_set`` (a particle set with a
+        :class:`~repro.core.particles.ParticleOrder`) provides the rows.
+    map_, map_idx:
+        Optional mesh map composed on top of ``p2c`` (the ``DOUBLE``
+        addressing kind).  ``map_idx=None`` with a map selects *all*
+        arity columns — the multi-point interpolation stencil.
+    weight_fn:
+        ``weight_fn(rows, cells) -> (len(rows), row_nnz)`` shape weights
+        for the selected rows (defaults to unit weights).  Must be a pure
+        function of ``(row, cell)`` so incremental patches reproduce a
+        from-scratch assembly bit-for-bit.
+    """
+
+    #: above this dirty fraction the diff-and-patch bookkeeping loses to
+    #: a straight rebuild, and the order tracker's counter says so before
+    #: any O(n) comparison runs
+    full_rebuild_threshold = 0.5
+
+    def __init__(self, p2c_map, map_=None, map_idx: Optional[int] = None,
+                 weight_fn: Optional[Callable] = None):
+        _require_scipy()
+        if not p2c_map.is_particle_map:
+            raise TypeError("CsrOperator needs a particle-to-cell map")
+        if map_ is None and map_idx is not None:
+            raise ValueError("map_idx without a mesh map")
+        self.p2c_map = p2c_map
+        self.pset = p2c_map.from_set
+        self.map = map_
+        self.map_idx = map_idx
+        self.weight_fn = weight_fn
+        self.row_nnz = (map_.arity if map_ is not None and map_idx is None
+                        else 1)
+        self.n_targets = (map_.to_set.size if map_ is not None
+                          else p2c_map.to_set.size)
+        self._n = 0                    # live rows at last refresh
+        self._snapshot: Optional[np.ndarray] = None   # p2c at last refresh
+        self._indices: Optional[np.ndarray] = None    # capacity * row_nnz
+        self._data: Optional[np.ndarray] = None
+        self._state = None             # ParticleOrder.state at last refresh
+        self._dirty_last = 0           # order.dirty at last refresh
+        self._P = None
+        self._PT = None
+        self._max_mult: Optional[int] = None
+        self.stats = {"full_rebuilds": 0, "incremental_updates": 0,
+                      "rows_patched": 0, "refresh_hits": 0,
+                      "pt_from_segments": 0, "pt_transposed": 0}
+
+    # -- assembly -------------------------------------------------------------
+
+    def _row_entries(self, rows: np.ndarray, cells: np.ndarray):
+        """(indices, data) blocks for the given rows/cells; dead cells
+        (< 0) become zero-weight entries on column 0."""
+        k = self.row_nnz
+        alive = cells >= 0
+        safe = np.where(alive, cells, 0)
+        if self.map is None:
+            cols = safe.reshape(-1, 1)
+        elif self.map_idx is not None:
+            cols = self.map.values[safe, self.map_idx].reshape(-1, 1)
+        else:
+            cols = self.map.values[safe, :]
+        if self.weight_fn is None:
+            data = np.ones((rows.size, k), dtype=np.float64)
+        else:
+            data = np.asarray(self.weight_fn(rows, cells),
+                              dtype=np.float64).reshape(rows.size, k)
+        if not alive.all():
+            dead = ~alive
+            cols = cols.copy() if self.map is None else cols
+            cols[dead] = 0
+            data[dead] = 0.0
+        return cols, data
+
+    def _ensure_capacity(self, n: int) -> None:
+        need = n * self.row_nnz
+        if self._indices is None or self._indices.size < need:
+            cap = max(need, 2 * (self._indices.size if self._indices
+                                 is not None else 0))
+            new_idx = np.zeros(cap, dtype=np.int64)
+            new_dat = np.zeros(cap, dtype=np.float64)
+            if self._indices is not None and self._n:
+                live = self._n * self.row_nnz
+                new_idx[:live] = self._indices[:live]
+                new_dat[:live] = self._data[:live]
+            self._indices, self._data = new_idx, new_dat
+
+    def _patch_rows(self, rows: np.ndarray, cells: np.ndarray) -> None:
+        cols, data = self._row_entries(rows, cells)
+        k = self.row_nnz
+        if k == 1:
+            self._indices[rows] = cols[:, 0]
+            self._data[rows] = data[:, 0]
+        else:
+            flat = (rows[:, None] * k + np.arange(k)[None, :]).ravel()
+            self._indices[flat] = cols.ravel()
+            self._data[flat] = data.ravel()
+
+    def _rebuild_full(self, p2c: np.ndarray) -> None:
+        n = p2c.size
+        self._ensure_capacity(n)
+        self._patch_rows(np.arange(n, dtype=np.int64), p2c)
+        self._n = n
+        self._snapshot = p2c.copy()
+        self.stats["full_rebuilds"] += 1
+
+    def _update_incremental(self, p2c: np.ndarray) -> None:
+        n = p2c.size
+        old = self._n
+        common = min(n, old)
+        changed = np.flatnonzero(p2c[:common] != self._snapshot[:common])
+        if n > old:                      # injection appended tail rows
+            self._ensure_capacity(n)
+            tail = np.arange(old, n, dtype=np.int64)
+            self._patch_rows(tail, p2c[old:])
+            self.stats["rows_patched"] += tail.size
+        if changed.size:
+            self._patch_rows(changed, p2c[changed])
+            self.stats["rows_patched"] += int(changed.size)
+        self._n = n
+        if self._snapshot.size < n:
+            self._snapshot = p2c.copy()
+        else:
+            self._snapshot = self._snapshot[:n]
+            self._snapshot[changed] = p2c[changed]
+            if n > old:
+                self._snapshot[old:n] = p2c[old:]
+        self.stats["incremental_updates"] += 1
+
+    def refresh(self, plan=None) -> str:
+        """Bring the operator up to date with the particle set.
+
+        Returns which path ran: ``"hit"`` (order state unchanged since the
+        last refresh — nothing to do), ``"incremental"`` (only dirty row
+        blocks patched) or ``"full"``.  ``plan`` is an optional
+        :class:`~repro.backends.plan.PlanCache` whose cached segment
+        offsets assemble ``P.T`` directly when the set is cell-sorted.
+        """
+        order = self.pset.order
+        state = order.state
+        if state == self._state and self._P is not None:
+            self.stats["refresh_hits"] += 1
+            return "hit"
+        p2c = self.p2c_map.p2c
+        # dirt accrued since *this operator's* last refresh — the order
+        # tracker's counter only resets on sorts, and a sort (or an
+        # invalidation) permutes arbitrarily many rows, so a negative
+        # delta also forces the from-scratch path
+        delta = order.dirty - self._dirty_last
+        n = p2c.size
+        if self._snapshot is None or delta < 0 \
+                or (n and delta / n > self.full_rebuild_threshold):
+            self._rebuild_full(p2c)
+            how = "full"
+        else:
+            self._update_incremental(p2c)
+            how = "incremental"
+        self._state = state
+        self._dirty_last = order.dirty
+        self._build_P()
+        self._PT = None
+        self._max_mult = None
+        self._plan = plan
+        return how
+
+    def _build_P(self) -> None:
+        sp = _scipy_sparse()
+        n, k = self._n, self.row_nnz
+        indptr = np.arange(0, n * k + 1, k, dtype=np.int64)
+        self._P = sp.csr_matrix(
+            (self._data[:n * k], self._indices[:n * k], indptr),
+            shape=(n, self.n_targets))
+
+    # -- products -------------------------------------------------------------
+
+    @property
+    def P(self):
+        if self._P is None:
+            self.refresh()
+        return self._P
+
+    @property
+    def PT(self):
+        """``P.T`` in CSR form (the deposit operator), cached per state."""
+        if self._PT is None:
+            sp = _scipy_sparse()
+            plan = getattr(self, "_plan", None)
+            if plan is not None and self.map is None \
+                    and self.weight_fn is None \
+                    and self.pset.order.is_valid():
+                # cell-sorted: the plan's prefix-sum segment offsets are
+                # exactly PT's indptr and columns are just 0..n-1
+                _counts, offsets, _ne, _starts = plan.segments(self.pset)
+                n = self._n
+                self._PT = sp.csr_matrix(
+                    (self._data[:n], np.arange(n, dtype=np.int64),
+                     offsets.astype(np.int64)),
+                    shape=(self.n_targets, n))
+                self.stats["pt_from_segments"] += 1
+            else:
+                self._PT = self.P.T.tocsr()
+                self.stats["pt_transposed"] += 1
+        return self._PT
+
+    @property
+    def max_multiplicity(self) -> int:
+        """Deepest particle pile-up on one target row (the collision
+        count every reduction strategy reports)."""
+        if self._max_mult is None:
+            indptr = self.PT.indptr
+            self._max_mult = (int(np.diff(indptr).max())
+                              if indptr.size > 1 else 0)
+        return self._max_mult
+
+    def gather(self, field: np.ndarray) -> np.ndarray:
+        """``P @ field`` — the cell/node → particle interpolation."""
+        f2d = field if field.ndim == 2 else field.reshape(-1, 1)
+        return np.asarray(self.P @ f2d)
+
+    def deposit(self, target: np.ndarray, values: np.ndarray) -> int:
+        """``target += P.T @ values`` — the particle → cell/node deposit;
+        returns the max collision multiplicity."""
+        vals2d = values if values.ndim == 2 else values.reshape(-1, 1)
+        target += np.asarray(self.PT @ vals2d).reshape(target.shape[0], -1)
+        return self.max_multiplicity
+
+    def __repr__(self) -> str:
+        via = "" if self.map is None else \
+            f" via {self.map.name}[{'*' if self.map_idx is None else self.map_idx}]"
+        return (f"<CsrOperator {self._n}x{self.n_targets}{via} "
+                f"nnz/row={self.row_nnz} rebuilds="
+                f"{self.stats['full_rebuilds']} incremental="
+                f"{self.stats['incremental_updates']}>")

@@ -27,6 +27,7 @@ from .plan import PlanCache
 from .reduction import (ReductionStrategy, SegmentedPresorted,
                         make_strategy)
 from .seq import SeqBackend
+from .sparse_ops import have_scipy
 
 __all__ = ["VecBackend"]
 
@@ -38,7 +39,8 @@ class VecBackend(Backend):
 
     def __init__(self, strategy: str = "atomics",
                  check_unique_writes: bool = False,
-                 locality: str = "never", **strategy_options):
+                 locality: str = "never", sparse: str = "never",
+                 **strategy_options):
         self.strategy_name = strategy
         self.strategy: ReductionStrategy = make_strategy(strategy,
                                                          **strategy_options)
@@ -48,11 +50,77 @@ class VecBackend(Backend):
         #: dependent, so fail loudly instead of racing silently
         self.check_unique_writes = bool(check_unique_writes)
         #: OP2-style plan cache: static mesh-map indirection schedules
+        #: plus the maintained Matrix-PIC operators
         self.plan = PlanCache()
         #: the particle-locality engine; opt-in (``locality="auto"`` /
-        #: ``"always"``) because sorting permutes particle storage order
-        self.locality = LocalityAutotuner(mode=locality)
+        #: ``"always"``) because sorting permutes particle storage order.
+        #: ``sparse`` arbitrates the Matrix-PIC operator per loop the same
+        #: way (never = off and bit-stable, always = force, auto = EWMA)
+        self.locality = LocalityAutotuner(mode=locality, sparse=sparse)
         self._seq = SeqBackend()
+
+    # -- the Matrix-PIC sparse-operator path --------------------------------------
+
+    def _arg_operator(self, a: Arg):
+        """The maintained CSR operator addressing this P2C/DOUBLE arg."""
+        if a.kind == ArgKind.DOUBLE:
+            return self.plan.sparse_operator(a.p2c, map_=a.map,
+                                             map_idx=a.map_idx)
+        return self.plan.sparse_operator(a.p2c)
+
+    def _sparse_select(self, loop, fastseg, n: int):
+        """Per-loop strategy election for the sparse-operator engine.
+
+        Returns ``None`` when the Matrix-PIC path cannot apply (sparse
+        mode off and strategy not forced, non-particle loop, windowed
+        iteration, no scipy, no eligible float64 P2C/DOUBLE traffic);
+        otherwise a dict naming the chosen gather/deposit arm —
+        ``"sparse_csr"`` vs the baseline — plus the dead-row indices the
+        deposit must zero before the product (the operator gives dead
+        rows zero weight, but ``0 · non-finite`` would still poison the
+        sum) and whether to feed timings back into the autotuner.
+        """
+        forced = self.strategy_name == "sparse_csr"
+        if not forced and self.locality.sparse == "never":
+            return None
+        pset = loop.iterset
+        if not pset.is_particle_set or pset.p2c_map is None:
+            return None
+        if not (loop.start == 0 and loop.end == pset.size):
+            return None       # operator rows cover the whole set
+        if not have_scipy():
+            return None
+        has_g = has_d = False
+        for a in loop.args:
+            if a.is_global or a.kind not in (ArgKind.P2C, ArgKind.DOUBLE) \
+                    or a.dat.dtype != np.float64:
+                continue
+            has_g |= a.access is AccessMode.READ
+            has_d |= a.access is AccessMode.INC
+        if not (has_g or has_d):
+            return None
+        dead = np.flatnonzero(pset.p2c_map.p2c < 0)
+        sel = {"gather": None, "deposit": None,
+               "dead_rows": dead if dead.size else None, "timing": False}
+        if forced:
+            # dead rows gather data[-1] on the indexed path (the seq
+            # oracle's wrap) but 0.0 through P — keep them off the
+            # sparse gather so dead-lane direct writes stay comparable
+            sel["gather"] = ("sparse_csr" if has_g and not dead.size
+                             else "indexed" if has_g else None)
+            sel["deposit"] = "sparse_csr" if has_d else None
+            return sel
+        sel["timing"] = self.locality.sparse == "auto"
+        if has_g:
+            sel["gather"] = "indexed" if dead.size else \
+                self.locality.pick_strategy(loop.name, "gather",
+                                            ["indexed", "sparse_csr"], n)
+        if has_d:
+            base = ("segmented_presorted" if fastseg is not None
+                    else self.strategy_name)
+            sel["deposit"] = self.locality.pick_strategy(
+                loop.name, "deposit", [base, "sparse_csr"], n)
+        return sel
 
     # -- the sort-aware fast path -------------------------------------------------
 
@@ -110,6 +178,8 @@ class VecBackend(Backend):
         params: List[np.ndarray] = []
         writeback: List[Tuple[Arg, np.ndarray, Optional[np.ndarray]]] = []
         n = idx.size
+        sparse_sel = self._sparse_select(loop, fastseg, n)
+        t_gather = t_deposit = 0.0
 
         for apos, a in enumerate(loop.args):
             if a.is_global:
@@ -127,18 +197,34 @@ class VecBackend(Backend):
                     and full:
                 params.append(a.dat.data)
                 continue
-            if fastseg is not None and a.access is AccessMode.READ \
-                    and a.kind in (ArgKind.P2C, ArgKind.DOUBLE):
-                # sorted fast path: the per-particle indirect gather is a
-                # per-cell broadcast of contiguous segments (bit-identical
-                # values to data[rows], no index array ever built)
-                counts = fastseg[0]
-                if a.kind == ArgKind.P2C:
-                    params.append(np.repeat(a.dat.data, counts, axis=0))
+            if a.access is AccessMode.READ \
+                    and a.kind in (ArgKind.P2C, ArgKind.DOUBLE) \
+                    and (fastseg is not None or sparse_sel is not None):
+                t0 = perf_counter() if sparse_sel is not None else 0.0
+                if sparse_sel is not None \
+                        and sparse_sel["gather"] == "sparse_csr" \
+                        and a.dat.dtype == np.float64:
+                    # Matrix-PIC gather: one CSR SpMM replaces the index
+                    # build + fancy gather (unit weights, so the product
+                    # is bit-identical to data[rows])
+                    buf = self._arg_operator(a).gather(a.dat.data)
+                elif fastseg is not None:
+                    # sorted fast path: the per-particle indirect gather
+                    # is a per-cell broadcast of contiguous segments
+                    # (bit-identical values to data[rows], no index array
+                    # ever built)
+                    counts = fastseg[0]
+                    if a.kind == ArgKind.P2C:
+                        buf = np.repeat(a.dat.data, counts, axis=0)
+                    else:
+                        cell_rows = a.map.values[:, a.map_idx]
+                        buf = np.repeat(a.dat.data[cell_rows], counts,
+                                        axis=0)
                 else:
-                    cell_rows = a.map.values[:, a.map_idx]
-                    params.append(np.repeat(a.dat.data[cell_rows], counts,
-                                            axis=0))
+                    buf = self.gather(a, idx)
+                if sparse_sel is not None:
+                    t_gather += perf_counter() - t0
+                params.append(buf)
                 continue
             rows = self.plan.rows(loop, a, idx)   # planned (static) or None
             if (self.check_unique_writes and a.is_indirect
@@ -188,18 +274,37 @@ class VecBackend(Backend):
                 else:
                     a.dat.data[idx] = buf
                 continue
-            if fastseg is not None and a.access is AccessMode.INC \
-                    and a.kind in (ArgKind.P2C, ArgKind.DOUBLE):
-                # sorted fast path: per-cell segment sums via the cached
-                # reduceat boundaries — no per-loop argsort, no atomics
-                counts, _offsets, nonempty, starts = fastseg
-                if a.kind == ArgKind.P2C:
-                    seg_rows = nonempty
+            if a.access is AccessMode.INC \
+                    and a.kind in (ArgKind.P2C, ArgKind.DOUBLE) \
+                    and (fastseg is not None or sparse_sel is not None):
+                t0 = perf_counter() if sparse_sel is not None else 0.0
+                if sparse_sel is not None \
+                        and sparse_sel["deposit"] == "sparse_csr" \
+                        and a.dat.dtype == np.float64:
+                    # Matrix-PIC deposit: target += P.T @ buf — one
+                    # compiled CSC accumulation, no atomics, no per-loop
+                    # sort; same sums as segmented_presorted up to
+                    # floating-point reassociation
+                    if sparse_sel["dead_rows"] is not None:
+                        buf[sparse_sel["dead_rows"]] = 0.0
+                    coll = self._arg_operator(a).deposit(a.dat.data, buf)
+                    strategy_used = "sparse_csr"
+                elif fastseg is not None:
+                    # sorted fast path: per-cell segment sums via the
+                    # cached reduceat boundaries — no per-loop argsort,
+                    # no atomics
+                    counts, _offsets, nonempty, starts = fastseg
+                    if a.kind == ArgKind.P2C:
+                        seg_rows = nonempty
+                    else:
+                        seg_rows = a.map.values[nonempty, a.map_idx]
+                    coll = SegmentedPresorted.apply_segments(
+                        a.dat.data, seg_rows, starts, buf, total=n)
+                    strategy_used = "segmented_presorted"
                 else:
-                    seg_rows = a.map.values[nonempty, a.map_idx]
-                coll = SegmentedPresorted.apply_segments(
-                    a.dat.data, seg_rows, starts, buf, total=n)
-                strategy_used = "segmented_presorted"
+                    coll = self.scatter(a, idx, buf, strategy=self.strategy)
+                if sparse_sel is not None:
+                    t_deposit += perf_counter() - t0
                 max_coll = max(max_coll, coll)
                 continue
             if rows is not None:
@@ -214,9 +319,21 @@ class VecBackend(Backend):
         if track:
             self.locality.note_loop(n, perf_counter() - t_start,
                                     fast=fastseg is not None)
+        if sparse_sel is not None and sparse_sel["timing"]:
+            if sparse_sel["gather"] is not None and t_gather > 0.0:
+                self.locality.note_strategy_cost(
+                    loop.name, "gather", sparse_sel["gather"], n, t_gather)
+            if sparse_sel["deposit"] is not None and t_deposit > 0.0:
+                self.locality.note_strategy_cost(
+                    loop.name, "deposit", sparse_sel["deposit"], n,
+                    t_deposit)
         extras = {"collisions": max_coll, "strategy": strategy_used}
         if fastseg is not None:
             extras["locality_fast_path"] = True
+        if sparse_sel is not None and (sparse_sel["gather"] == "sparse_csr"
+                                       or sparse_sel["deposit"]
+                                       == "sparse_csr"):
+            extras["sparse_operator"] = True
         return extras
 
     # -- opp_particle_move --------------------------------------------------------

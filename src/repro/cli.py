@@ -131,6 +131,10 @@ def _build_parser() -> argparse.ArgumentParser:
                     metavar="NAME",
                     help="backends to check against the seq oracle "
                     "(default: vec omp mp)")
+    vf.add_argument("--strategy", default=None, metavar="NAME",
+                    help="force this reduction strategy on every "
+                    "backend under test during --conformance "
+                    "(e.g. sparse_csr); the seq oracle is never forced")
     vf.add_argument("--no-shrink", action="store_true",
                     help="report the first failing case without "
                     "minimising it")
@@ -373,7 +377,8 @@ def _run_verify(args) -> int:
                 n_cases=args.cases, seed=args.seed,
                 backends=tuple(args.backends) if args.backends else
                 ("vec", "omp", "mp"),
-                progress=progress, shrink=not args.no_shrink)
+                progress=progress, shrink=not args.no_shrink,
+                strategy=args.strategy)
         except ConformanceFailure as failure:
             print(f"conformance FAILED:\n{failure}", file=sys.stderr)
             return 1

@@ -113,6 +113,9 @@ class DirectHopGlobalMover:
                 idx = np.flatnonzero(stay)
                 p2c_maps[r].p2c[idx] = self._local_cells(
                     r, dest_cell_global[idx])
+                # direct map write: bump the order tracker so cached
+                # segment offsets / sparse operators refresh
+                pset.order.note_relocated(int(idx.size))
             if go.any():
                 rows = np.flatnonzero(go)
                 for d in np.unique(dest_rank[rows]):

@@ -24,6 +24,7 @@ Determinism: every case is fully derived from its integer seed via
 """
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -52,10 +53,42 @@ _BACKEND_CLASSES = {"seq": SeqBackend, "vec": VecBackend,
                     "omp": OmpBackend, "mp": MpBackend}
 
 
-def _conformance_backend(name: str):
+def _conformance_backend(name: str, strategy: Optional[str] = None):
     cls = _BACKEND_CLASSES.get(name)
-    opts = getattr(cls, "conformance_options", {}) if cls else {}
+    opts = dict(getattr(cls, "conformance_options", {}) if cls else {})
+    if strategy is not None and name != "seq":
+        opts["strategy"] = strategy
     return make_backend(name, **opts)
+
+
+@contextmanager
+def _forced_strategy(name: str):
+    """Temporarily force one reduction strategy on the active backend.
+
+    Lets single program ops draw a specific strategy (the fuzzer's way
+    of exercising ``sparse_csr`` inside otherwise-random programs) while
+    the rest of the program runs on the backend's configured one.  A
+    no-op on backends without a strategy (the seq oracle) and when the
+    strategy cannot be built (scipy missing) — the op still runs, just
+    un-forced, so seeds stay comparable across environments.
+    """
+    from ..backends.reduction import make_strategy
+    from ..core.context import get_context
+    backend = get_context().backend
+    if not hasattr(backend, "strategy"):
+        yield
+        return
+    try:
+        forced = make_strategy(name)
+    except Exception:
+        yield
+        return
+    old_strategy, old_name = backend.strategy, backend.strategy_name
+    backend.strategy, backend.strategy_name = forced, name
+    try:
+        yield
+    finally:
+        backend.strategy, backend.strategy_name = old_strategy, old_name
 
 
 class Case:
@@ -225,6 +258,21 @@ def _op_move(w: dict) -> None:
     w["n_removed"] += res.n_removed
 
 
+def _op_p2c_inc_sparse(w: dict) -> None:
+    with _forced_strategy("sparse_csr"):
+        _op_p2c_inc(w)
+
+
+def _op_double_deposit_sparse(w: dict) -> None:
+    with _forced_strategy("sparse_csr"):
+        _op_double_deposit(w)
+
+
+def _op_p2c_gather_sparse(w: dict) -> None:
+    with _forced_strategy("sparse_csr"):
+        _op_p2c_gather(w)
+
+
 OPS: Dict[str, Callable[[dict], None]] = {
     "direct_axpy": _op_direct_axpy,
     "direct_write": _op_direct_write,
@@ -236,6 +284,11 @@ OPS: Dict[str, Callable[[dict], None]] = {
     "double_deposit": _op_double_deposit,
     "gbl_reduce": _op_gbl_reduce,
     "move": _op_move,
+    # Matrix-PIC ops: the same loops lowered through the sparse operator
+    # (deposits as P.T @ q, gathers as P @ E) inside random programs
+    "p2c_inc_sparse": _op_p2c_inc_sparse,
+    "double_deposit_sparse": _op_double_deposit_sparse,
+    "p2c_gather_sparse": _op_p2c_gather_sparse,
 }
 OP_NAMES = tuple(sorted(OPS))
 
@@ -369,16 +422,20 @@ def _shrink_candidates(case: Case):
 def run_conformance(n_cases: int = 60, seed: int = 0,
                     backends: Sequence[str] = DEFAULT_BACKENDS,
                     progress: Optional[Callable[[str], None]] = None,
-                    shrink: bool = True) -> dict:
+                    shrink: bool = True,
+                    strategy: Optional[str] = None) -> dict:
     """Sweep ``n_cases`` generated cases over every backend.
 
     Backend instances (and in particular the ``mp`` worker pool) are
-    created once and reused across the sweep.  Raises
-    :class:`ConformanceFailure` — with a shrunk minimal case — on the
-    first divergence; returns a summary dict when everything agrees.
+    created once and reused across the sweep.  ``strategy`` forces one
+    reduction strategy on every backend under test (the CI sparse sweep
+    runs ``strategy="sparse_csr"``) — the seq oracle is never forced.
+    Raises :class:`ConformanceFailure` — with a shrunk minimal case — on
+    the first divergence; returns a summary dict when everything agrees.
     """
     oracle = _conformance_backend("seq")
-    under_test = [(name, _conformance_backend(name)) for name in backends]
+    under_test = [(name, _conformance_backend(name, strategy))
+                  for name in backends]
     checked = 0
     try:
         for i in range(n_cases):
@@ -405,4 +462,4 @@ def run_conformance(n_cases: int = 60, seed: int = 0,
             if close is not None:
                 close()
     return {"cases": n_cases, "backends": list(backends),
-            "executions": checked}
+            "executions": checked, "strategy": strategy}

@@ -1,0 +1,343 @@
+"""Matrix-PIC sparse-operator engine: incremental CSR maintenance,
+one-shot deposits, strategy registration, autotuner dispatch, and
+end-to-end app conformance under a forced ``sparse_csr`` strategy.
+
+The load-bearing invariant: after any particle mutation (relocations,
+hole-fills, injections, sorts) an *incrementally patched* operator must
+be bit-for-bit identical to one assembled from scratch.
+"""
+import numpy as np
+import pytest
+
+from repro.backends.locality import LocalityAutotuner
+from repro.backends.reduction import make_strategy
+from repro.backends.sparse_ops import (CsrOperator, have_scipy,
+                                       sparse_deposit)
+from repro.core.api import (Context, decl_dat, decl_map,
+                            decl_particle_set, decl_set, push_context)
+from repro.core.particles import sort_particles_by_cell
+
+pytestmark = pytest.mark.skipif(not have_scipy(),
+                                reason="scipy.sparse not available")
+
+N_CELLS = 7
+N_NODES = 9
+
+
+def build_world(n_parts=40, seed=0, with_map=False):
+    rng = np.random.default_rng(seed)
+    cells = decl_set(N_CELLS)
+    parts = decl_particle_set(cells, n_parts)
+    p2c = decl_map(parts, cells, 1,
+                   rng.integers(0, N_CELLS, size=(n_parts, 1)))
+    parts.p2c_map = p2c
+    if with_map:
+        nodes = decl_set(N_NODES)
+        c2n = decl_map(cells, nodes, 3,
+                       rng.integers(0, N_NODES, size=(N_CELLS, 3)))
+        return parts, p2c, c2n
+    return parts, p2c, None
+
+
+def assert_bit_identical(op, reference_op):
+    """The maintained operator must equal a from-scratch assembly."""
+    a, b = op.P, reference_op.P
+    assert a.shape == b.shape
+    np.testing.assert_array_equal(a.indptr, b.indptr)
+    np.testing.assert_array_equal(a.indices, b.indices)
+    np.testing.assert_array_equal(a.data, b.data)
+
+
+def fresh_copy(op):
+    new = CsrOperator(op.p2c_map, map_=op.map, map_idx=op.map_idx,
+                      weight_fn=op.weight_fn)
+    new.refresh()
+    return new
+
+
+# -- incremental maintenance --------------------------------------------------
+
+def test_refresh_hit_when_order_state_unchanged():
+    with push_context(Context("seq")):
+        _, p2c, _ = build_world()
+        op = CsrOperator(p2c)
+        assert op.refresh() == "full"
+        assert op.refresh() == "hit"
+        assert op.stats["refresh_hits"] == 1
+
+
+def test_relocations_patch_only_dirty_rows():
+    with push_context(Context("seq")):
+        parts, p2c, _ = build_world()
+        op = CsrOperator(p2c)
+        op.refresh()
+        moved = np.array([3, 11, 17])
+        p2c.p2c[moved] = (p2c.p2c[moved] + 1) % N_CELLS
+        parts.order.note_relocated(moved.size)
+        assert op.refresh() == "incremental"
+        assert op.stats["rows_patched"] == moved.size
+        assert_bit_identical(op, fresh_copy(op))
+
+
+def test_injections_append_tail_rows():
+    with push_context(Context("seq")):
+        parts, p2c, _ = build_world(n_parts=20)
+        op = CsrOperator(p2c)
+        op.refresh()
+        parts.add_particles(6, cell_indices=np.arange(6) % N_CELLS)
+        assert op.refresh() == "incremental"
+        assert op.P.shape[0] == 26
+        assert_bit_identical(op, fresh_copy(op))
+
+
+def test_hole_fills_patch_teleported_rows():
+    with push_context(Context("seq")):
+        parts, p2c, _ = build_world(n_parts=30)
+        op = CsrOperator(p2c)
+        op.refresh()
+        parts.remove_particles(np.array([0, 4, 29]))
+        assert op.refresh() == "incremental"
+        assert op.P.shape[0] == 27
+        assert_bit_identical(op, fresh_copy(op))
+
+
+def test_sort_forces_full_rebuild():
+    with push_context(Context("seq")):
+        parts, p2c, _ = build_world()
+        op = CsrOperator(p2c)
+        op.refresh()
+        p2c.p2c[[0, 5]] = [(p2c.p2c[0] + 1) % N_CELLS,
+                           (p2c.p2c[5] + 1) % N_CELLS]
+        parts.order.note_relocated(2)     # accrue some dirt first...
+        assert op.refresh() == "incremental"
+        sort_particles_by_cell(parts)     # ...then reset the counter
+        assert op.refresh() == "full"     # negative delta -> from scratch
+        assert op.stats["full_rebuilds"] == 2
+        assert_bit_identical(op, fresh_copy(op))
+
+
+def test_wholesale_disorder_forces_full_rebuild():
+    with push_context(Context("seq")):
+        parts, p2c, _ = build_world(n_parts=40)
+        op = CsrOperator(p2c)
+        op.refresh()
+        rng = np.random.default_rng(1)
+        p2c.p2c[:] = rng.integers(0, N_CELLS, size=40)
+        parts.order.note_relocated(30)    # 75% dirty > threshold
+        assert op.refresh() == "full"
+        assert_bit_identical(op, fresh_copy(op))
+
+
+def test_mixed_mutation_sequence_stays_bit_identical():
+    """Interleave every mutation kind and re-check after each refresh."""
+    with push_context(Context("seq")):
+        parts, p2c, _ = build_world(n_parts=25, seed=3)
+        op = CsrOperator(p2c)
+        op.refresh()
+        rng = np.random.default_rng(5)
+        for step in range(8):
+            k = rng.integers(1, 4)
+            idx = rng.choice(parts.size, size=k, replace=False)
+            p2c.p2c[idx] = rng.integers(0, N_CELLS, size=k)
+            parts.order.note_relocated(int(k))
+            if step % 3 == 1:
+                parts.add_particles(2, cell_indices=[step % N_CELLS, 0])
+            if step % 3 == 2 and parts.size > 6:
+                parts.remove_particles(np.array([1, parts.size - 1]))
+            op.refresh()
+            assert_bit_identical(op, fresh_copy(op))
+        assert op.stats["incremental_updates"] > 0
+
+
+def test_double_addressing_through_mesh_map():
+    with push_context(Context("seq")):
+        parts, p2c, c2n = build_world(with_map=True)
+        for map_idx in (None, 1):
+            op = CsrOperator(p2c, map_=c2n, map_idx=map_idx)
+            op.refresh()
+            p2c.p2c[[2, 9]] = [0, 6]
+            parts.order.note_relocated(2)
+            assert op.refresh() == "incremental"
+            assert_bit_identical(op, fresh_copy(op))
+
+
+def test_dead_particles_get_zero_weight_rows():
+    with push_context(Context("seq")):
+        parts, p2c, _ = build_world(n_parts=10)
+        p2c.p2c[[1, 7]] = -1
+        parts.order.invalidate()
+        op = CsrOperator(p2c)
+        op.refresh()
+        dense = op.P.toarray()
+        assert not dense[1].any() and not dense[7].any()
+        field = np.arange(N_CELLS, dtype=np.float64).reshape(-1, 1)
+        assert (op.gather(field)[[1, 7]] == 0.0).all()
+
+
+# -- gather / deposit numerics ------------------------------------------------
+
+def test_gather_and_deposit_match_dense_reference():
+    with push_context(Context("seq")):
+        parts, p2c, _ = build_world(n_parts=50, seed=2)
+        op = CsrOperator(p2c)
+        rng = np.random.default_rng(2)
+        field = rng.normal(size=(N_CELLS, 3))
+        np.testing.assert_allclose(op.gather(field),
+                                   field[p2c.p2c], rtol=1e-15)
+        vals = rng.normal(size=(parts.size, 3))
+        got = np.zeros((N_CELLS, 3))
+        mult = op.deposit(got, vals)
+        want = np.zeros_like(got)
+        np.add.at(want, p2c.p2c, vals)
+        np.testing.assert_allclose(got, want, rtol=1e-12, atol=1e-14)
+        assert mult == np.bincount(p2c.p2c).max()
+
+
+def test_pt_assembled_from_plan_segments_when_sorted():
+    with push_context(Context("vec")) as ctx:
+        parts, p2c, _ = build_world(n_parts=60, seed=4)
+        sort_particles_by_cell(parts)
+        op = ctx.backend.plan.sparse_operator(p2c)
+        _ = op.PT
+        assert op.stats["pt_from_segments"] == 1
+        got = np.zeros((N_CELLS, 1))
+        op.deposit(got, np.ones((parts.size, 1)))
+        np.testing.assert_array_equal(
+            got[:, 0], np.bincount(p2c.p2c, minlength=N_CELLS))
+
+
+def test_sparse_deposit_float_matches_add_at():
+    rng = np.random.default_rng(0)
+    rows = rng.integers(-1, N_CELLS, size=200)   # includes dead rows
+    vals = rng.normal(size=(200, 2))
+    got = np.zeros((N_CELLS, 2))
+    sparse_deposit(got, rows, vals)
+    want = np.zeros_like(got)
+    alive = rows >= 0
+    np.add.at(want, rows[alive], vals[alive])
+    np.testing.assert_allclose(got, want, rtol=1e-12, atol=1e-14)
+
+
+def test_sparse_deposit_integer_data_is_bit_exact():
+    rng = np.random.default_rng(1)
+    rows = rng.integers(0, N_CELLS, size=500)
+    vals = rng.integers(-(2 ** 40), 2 ** 40, size=(500, 1))
+    got = np.zeros((N_CELLS, 1), dtype=np.int64)
+    sparse_deposit(got, rows, vals)
+    want = np.zeros_like(got)
+    np.add.at(want, rows, vals)
+    np.testing.assert_array_equal(got, want)
+
+
+# -- strategy registration / autotuner ----------------------------------------
+
+def test_sparse_csr_registered_as_reduction_strategy():
+    strat = make_strategy("sparse_csr")
+    assert strat.name == "sparse_csr"
+    rng = np.random.default_rng(3)
+    rows = rng.integers(0, N_CELLS, size=80)
+    vals = rng.normal(size=(80, 2))
+    got = np.zeros((N_CELLS, 2))
+    strat.apply(got, rows, vals)
+    want = np.zeros_like(got)
+    np.add.at(want, rows, vals)
+    np.testing.assert_allclose(got, want, rtol=1e-12, atol=1e-14)
+
+
+def test_autotuner_sparse_mode_validation():
+    with pytest.raises(ValueError):
+        LocalityAutotuner(sparse="sometimes")
+
+
+def test_pick_strategy_forced_modes():
+    tuner = LocalityAutotuner(sparse="always")
+    assert tuner.pick_strategy("L", "deposit",
+                               ["atomics", "sparse_csr"], 10 ** 5) \
+        == "sparse_csr"
+    tuner = LocalityAutotuner(sparse="never")
+    assert tuner.pick_strategy("L", "deposit",
+                               ["atomics", "sparse_csr"], 10 ** 5) \
+        == "atomics"
+
+
+def test_pick_strategy_small_sets_never_go_sparse():
+    tuner = LocalityAutotuner(sparse="auto", min_particles=64)
+    assert tuner.pick_strategy("L", "deposit",
+                               ["atomics", "sparse_csr"], 10) == "atomics"
+
+
+def test_pick_strategy_explores_then_exploits():
+    tuner = LocalityAutotuner(sparse="auto", explore_every=4)
+    cands = ["segmented_presorted", "sparse_csr"]
+    # explore: unmeasured arms run first, in candidate order
+    assert tuner.pick_strategy("L", "deposit", cands, 10 ** 5) == cands[0]
+    tuner.note_strategy_cost("L", "deposit", cands[0], 10 ** 5, 1.0)
+    assert tuner.pick_strategy("L", "deposit", cands, 10 ** 5) == cands[1]
+    tuner.note_strategy_cost("L", "deposit", cands[1], 10 ** 5, 0.1)
+    # exploit: the cheaper measured arm wins most picks...
+    picks = [tuner.pick_strategy("L", "deposit", cands, 10 ** 5)
+             for _ in range(6)]
+    assert picks.count("sparse_csr") >= 4
+    # ...with a periodic runner-up re-measure mixed in
+    assert "segmented_presorted" in picks
+
+
+def test_note_strategy_cost_is_an_ewma():
+    tuner = LocalityAutotuner(sparse="auto", alpha=0.5)
+    tuner.note_strategy_cost("L", "deposit", "sparse_csr", 100, 1.0)
+    tuner.note_strategy_cost("L", "deposit", "sparse_csr", 100, 3.0)
+    assert tuner.strategy_costs[("L", "deposit", "sparse_csr")] \
+        == pytest.approx(0.5 * 0.01 + 0.5 * 0.03)
+
+
+# -- end-to-end: forced sparse_csr across the apps' deposit loops -------------
+
+def test_cabana_forced_sparse_matches_seq():
+    from repro.apps.cabana import CabanaConfig, CabanaSimulation
+    cfg = CabanaConfig.smoke()
+    ref = CabanaSimulation(cfg.scaled(backend="seq"))
+    ref.run()
+    sim = CabanaSimulation(cfg.scaled(
+        backend="vec", backend_options={"strategy": "sparse_csr"}))
+    sim.run()
+    np.testing.assert_allclose(sim.history["e_energy"],
+                               ref.history["e_energy"],
+                               rtol=1e-9, atol=1e-18)
+    np.testing.assert_allclose(sim.j.data, ref.j.data,
+                               rtol=1e-9, atol=1e-12)
+
+
+def test_fempic_forced_sparse_matches_seq_and_maintains_operators():
+    from repro.apps.fempic import FemPicConfig, FemPicSimulation
+    cfg = FemPicConfig.smoke().scaled(n_steps=8)
+    ref = FemPicSimulation(cfg.scaled(backend="seq"))
+    ref.run()
+    sim = FemPicSimulation(cfg.scaled(
+        backend="vec", backend_options={"strategy": "sparse_csr"}))
+    sim.run()
+    np.testing.assert_allclose(sim.history["field_energy"],
+                               ref.history["field_energy"], rtol=1e-9)
+    assert sim.history["n_particles"] == ref.history["n_particles"]
+    # fempic's full-set deposit loops engage *maintained* operators that
+    # ride injections and removals incrementally; each must still equal a
+    # from-scratch assembly bit-for-bit at the end of the run
+    ops = list(sim.ctx.backend.plan._sparse_ops.values())
+    assert ops
+    assert any(op.stats["incremental_updates"] > 0 for op in ops)
+    for op in ops:
+        op.refresh()
+        assert_bit_identical(op, fresh_copy(op))
+
+
+def test_advec_forced_sparse_matches_seq():
+    from repro.apps.advec import AdvecConfig, AdvecSimulation
+    cfg = AdvecConfig(nx=8, ny=8, vx0=0.25, vy0=0.125, dt=0.1, ppc=2,
+                      n_steps=0)
+    ref = AdvecSimulation(cfg.scaled(backend="seq"))
+    ref.run(25)
+    sim = AdvecSimulation(cfg.scaled(
+        backend="vec", backend_options={"strategy": "sparse_csr"}))
+    sim.run(25)
+    np.testing.assert_allclose(sim.positions_xy(), ref.positions_xy(),
+                               atol=1e-12)
+    np.testing.assert_array_equal(sim.p2c.p2c, ref.p2c.p2c)
