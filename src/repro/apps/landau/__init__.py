@@ -1,0 +1,10 @@
+"""1-D electrostatic validation apps: Landau damping, two-beam
+(two-stream as two particle sets sharing the field), multi-species."""
+from .config import (LandauConfig, SpeciesSpec, landau_config,
+                     two_beam_config)
+from .simulation import (ElectrostaticSimulation, maxwellian_quantiles,
+                         van_der_corput)
+
+__all__ = ["LandauConfig", "SpeciesSpec", "landau_config",
+           "two_beam_config", "ElectrostaticSimulation",
+           "van_der_corput", "maxwellian_quantiles"]

@@ -1,0 +1,130 @@
+"""Configuration for the 1-D electrostatic validation apps.
+
+These apps exist to be *oracles*: periodic 1-D electrostatic PIC whose
+observables (Landau damping rate, two-stream growth rate, Langmuir
+frequency) have closed-form kinetic-theory expectations, so every
+backend × strategy combination can be checked against physics instead
+of only against the seq reference run.
+
+Units are normalized (eps0 = 1); species densities are chosen so the
+total plasma frequency is ``wp = 1`` unless overridden.
+"""
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+__all__ = ["SpeciesSpec", "LandauConfig", "landau_config",
+           "two_beam_config"]
+
+
+@dataclass(frozen=True)
+class SpeciesSpec:
+    """One particle species of the electrostatic model.
+
+    ``density`` is the mean number density (per unit length);
+    ``perturbation`` seeds the diagnosed mode as a density ripple
+    ``n(x) = n₀·(1 + α·cos(k·mode·x))`` via a quiet-start displacement.
+    """
+
+    name: str = "electrons"
+    charge: float = -1.0
+    mass: float = 1.0
+    density: float = 1.0
+    drift: float = 0.0          # mean (beam) velocity
+    vth: float = 0.0            # Maxwellian thermal speed (0 = cold)
+    ppc: int = 200              # macro-particles per cell
+    perturbation: float = 0.0   # density ripple amplitude α
+    mode: int = 1               # ripple mode number
+
+    def plasma_frequency_sq(self, eps0: float = 1.0) -> float:
+        return self.density * self.charge * self.charge \
+            / (eps0 * self.mass)
+
+
+@dataclass
+class LandauConfig:
+    """Periodic 1-D electrostatic PIC over one or more species."""
+
+    nz: int = 64                 # grid points (== cells)
+    lz: float = 4.0 * math.pi    # domain length (k₁ = 2π/lz)
+    dt: float = 0.1
+    n_steps: int = 220
+    eps0: float = 1.0
+    species: Tuple[SpeciesSpec, ...] = (
+        SpeciesSpec(vth=1.0, perturbation=0.05),)
+    #: mode number whose field energy the diagnostics track
+    diagnostic_mode: int = 1
+    backend: str = "vec"
+    backend_options: dict = field(default_factory=dict)
+
+    @property
+    def dx(self) -> float:
+        return self.lz / self.nz
+
+    @property
+    def k1(self) -> float:
+        """Fundamental wavenumber 2π/lz."""
+        return 2.0 * math.pi / self.lz
+
+    @property
+    def n_particles(self) -> int:
+        return sum(self.nz * s.ppc for s in self.species)
+
+    @property
+    def plasma_frequency(self) -> float:
+        """Total ωp over all mobile species."""
+        return math.sqrt(sum(s.plasma_frequency_sq(self.eps0)
+                             for s in self.species))
+
+    def scaled(self, **overrides) -> "LandauConfig":
+        return replace(self, **overrides)
+
+    @classmethod
+    def smoke(cls) -> "LandauConfig":
+        return landau_config(nz=24, ppc=30, n_steps=10)
+
+
+def landau_config(k_lambda_d: float = 0.5, nz: int = 64, ppc: int = 300,
+                  n_steps: int = 220, dt: float = 0.1,
+                  perturbation: float = 0.05,
+                  **overrides) -> LandauConfig:
+    """Single-species Maxwellian plasma set up for Landau damping.
+
+    With ``vth = wp = 1`` the Debye length is 1 and the fundamental
+    mode's wavenumber is ``k = k_lambda_d`` (domain ``lz = 2π/k``).  The
+    classic benchmark point ``kλD = 0.5`` damps at γ ≈ 0.1534·ωp and
+    oscillates at ω ≈ 1.4156·ωp.
+    """
+    lz = 2.0 * math.pi / k_lambda_d
+    electrons = SpeciesSpec(name="electrons", charge=-1.0, mass=1.0,
+                            density=1.0, vth=1.0, ppc=ppc,
+                            perturbation=perturbation, mode=1)
+    return LandauConfig(nz=nz, lz=lz, dt=dt, n_steps=n_steps,
+                        species=(electrons,), diagnostic_mode=1,
+                        **overrides)
+
+
+def two_beam_config(v0: float | None = None, nz: int = 64,
+                    ppc: int = 200, n_steps: int = 260, dt: float = 0.1,
+                    perturbation: float = 1e-3,
+                    **overrides) -> LandauConfig:
+    """Two *separate particle sets* of cold counter-streaming electrons
+    sharing the field Dats — the multi-species loop pattern — tuned to
+    the fastest-growing two-stream mode (k·v0 = √(3/8)·ωp at mode 1).
+
+    Total density 1 (ωp = 1), so linear theory predicts field-energy
+    growth at 2γ with γ = ωp/√8.
+    """
+    lz = 4.0 * math.pi
+    k = 2.0 * math.pi / lz
+    if v0 is None:
+        v0 = math.sqrt(3.0 / 8.0) / k       # fastest-growing at mode 1
+    beams = tuple(
+        SpeciesSpec(name=name, charge=-1.0, mass=1.0, density=0.5,
+                    drift=sign * v0, vth=0.0, ppc=ppc,
+                    perturbation=perturbation, mode=1)
+        for name, sign in (("beam_right", 1.0), ("beam_left", -1.0)))
+    return LandauConfig(nz=nz, lz=lz, dt=dt, n_steps=n_steps,
+                        species=beams, diagnostic_mode=1, **overrides)

@@ -1,0 +1,56 @@
+"""Elemental kernels of the 1-D electrostatic validation apps.
+
+Constants: ``es_dx, es_inv_dx, es_dt, es_lz`` (grid spacing and its
+inverse, time step, domain length).
+
+Grid layout: point ``j`` sits at ``x = j·dx``; cell ``j`` spans
+``[j·dx, (j+1)·dx)``.  The CIC pair map (arity 2) of cell ``j`` is
+``[j, (j+1) mod nz]``, the chain map is ``[(j−1) mod nz, (j+1) mod nz]``
+— fully periodic, so the move kernel compares minimum-image offsets
+from the cell centre rather than raw coordinates.
+"""
+from __future__ import annotations
+
+from repro.core.api import CONST
+
+__all__ = ["reset_rho_kernel", "deposit1d_kernel", "push1d_kernel",
+           "move1d_kernel"]
+
+
+def reset_rho_kernel(rho):
+    rho[0] = 0.0
+
+
+def deposit1d_kernel(pos, qw, x0, r0, r1):
+    """CIC charge deposit to the cell's two grid points."""
+    f = (pos[0] - x0[0]) * CONST.es_inv_dx
+    r0[0] += qw[0] * (1.0 - f)
+    r1[0] += qw[0] * f
+
+
+def push1d_kernel(pos, vel, qm, x0, e0, e1):
+    """Leapfrog kick+drift with CIC-gathered field, periodic wrap."""
+    f = (pos[0] - x0[0]) * CONST.es_inv_dx
+    e = (1.0 - f) * e0[0] + f * e1[0]
+    vel[0] = vel[0] + qm[0] * e * CONST.es_dt
+    pos[0] = pos[0] + vel[0] * CONST.es_dt
+    if pos[0] >= CONST.es_lz:
+        pos[0] = pos[0] - CONST.es_lz
+    if pos[0] < 0.0:
+        pos[0] = pos[0] + CONST.es_lz
+
+
+def move1d_kernel(move, pos):
+    """Periodic chain walk: hop toward the minimum-image offset from
+    the current cell's centre until the particle is inside."""
+    d = pos[0] - (move.cell + 0.5) * CONST.es_dx
+    if d > 0.5 * CONST.es_lz:
+        d = d - CONST.es_lz
+    if d < -0.5 * CONST.es_lz:
+        d = d + CONST.es_lz
+    if d < -0.5 * CONST.es_dx:
+        move.move_to(move.c2c[0])
+    elif d >= 0.5 * CONST.es_dx:
+        move.move_to(move.c2c[1])
+    else:
+        move.done()

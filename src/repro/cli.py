@@ -140,6 +140,28 @@ def _build_parser() -> argparse.ArgumentParser:
                     "minimising it")
     vf.add_argument("--quiet", action="store_true")
 
+    va = sub.add_parser(
+        "validate", help="physics gates: measured rates vs theory")
+    va.add_argument("--app", default="all",
+                    choices=["landau", "twostream", "multispecies",
+                             "all"],
+                    help="which oracle app to gate (default: all)")
+    va.add_argument("--backend", default="vec",
+                    choices=["seq", "vec", "omp", "mp", "cuda", "hip",
+                             "xe"])
+    va.add_argument("--strategy", default="default",
+                    help="reduction-strategy option set (default, "
+                    "sparse_csr, locality_always)")
+    va.add_argument("--transport", default=None,
+                    choices=["sim", "proc"],
+                    help="route the twostream gate through the "
+                    "distributed driver over this transport")
+    va.add_argument("--profile", default="ci", choices=["ci", "full"],
+                    help="resolution/tolerance profile")
+    va.add_argument("--json", action="store_true",
+                    help="print machine-readable reports")
+    va.add_argument("--quiet", action="store_true")
+
     ms = sub.add_parser("mesh", help="generate a duct mesh file")
     ms.add_argument("--nx", type=int, default=4)
     ms.add_argument("--ny", type=int, default=4)
@@ -408,6 +430,26 @@ def _run_verify(args) -> int:
     return status
 
 
+def _run_validate(args) -> int:
+    import json
+
+    from repro.validate import GATE_APPS, run_physics_gates
+    apps = GATE_APPS if args.app == "all" else (args.app,)
+    status = 0
+    for app in apps:
+        if args.transport is not None and app != "twostream":
+            continue      # transports only apply to the dist-capable app
+        report = run_physics_gates(
+            app, backend=args.backend, transport=args.transport,
+            strategy=args.strategy, profile=args.profile)
+        if args.json:
+            print(json.dumps(report.to_dict()))
+        elif not args.quiet or not report.ok:
+            print(report.summary())
+        status |= 0 if report.ok else 1
+    return status
+
+
 def _run_mesh(args) -> int:
     from repro.mesh import duct_mesh, save_mesh
     mesh = duct_mesh(args.nx, args.ny, args.nz, args.lx, args.ly, args.lz)
@@ -428,6 +470,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_twod(args)
     if args.command == "verify":
         return _run_verify(args)
+    if args.command == "validate":
+        return _run_validate(args)
     return _run_mesh(args)
 
 

@@ -4,10 +4,12 @@ from .collisions import (MCCIonization, MCCollisions,
 from .diagnostics import VelocityMoments
 from .fdtd import seed_standing_wave, vacuum_cavity_energy_series
 from .theory import (fastest_growing_mode, fit_exponential_rate,
+                     landau_damping_rate, landau_frequency, landau_root,
                      plasma_frequency, two_stream_growth_rate)
 
 __all__ = ["MCCollisions", "MCCIonization", "elastic_scatter_kernel",
            "ionize_kernel", "VelocityMoments",
            "seed_standing_wave", "vacuum_cavity_energy_series",
            "plasma_frequency", "two_stream_growth_rate",
-           "fastest_growing_mode", "fit_exponential_rate"]
+           "fastest_growing_mode", "fit_exponential_rate",
+           "landau_root", "landau_damping_rate", "landau_frequency"]

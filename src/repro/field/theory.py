@@ -11,7 +11,8 @@ import math
 import numpy as np
 
 __all__ = ["plasma_frequency", "two_stream_growth_rate",
-           "fastest_growing_mode", "fit_exponential_rate"]
+           "fastest_growing_mode", "fit_exponential_rate",
+           "landau_root", "landau_damping_rate", "landau_frequency"]
 
 
 def plasma_frequency(density: float, charge: float = 1.0,
@@ -41,6 +42,72 @@ def two_stream_growth_rate(k: float, v0: float, wp: float) -> float:
 def fastest_growing_mode(v0: float, wp: float) -> float:
     """k of the fastest growing mode: k v0 = √(3/8)·wp, γ_max = wp/√8."""
     return math.sqrt(3.0 / 8.0) * wp / v0
+
+
+def _plasma_z(zeta: complex) -> complex:
+    """Plasma dispersion function Z(ζ) = i√π·w(ζ) (Fried–Conte)."""
+    from scipy.special import wofz
+    return 1j * math.sqrt(math.pi) * wofz(zeta)
+
+
+def landau_root(k: float, vth: float = 1.0, wp: float = 1.0) -> complex:
+    """Complex root ω of the kinetic electron-Langmuir dispersion
+
+        ε(k, ω) = 1 + 1/(k²λD²) · [1 + ζ Z(ζ)] = 0,   ζ = ω/(√2 k vth)
+
+    for a Maxwellian with thermal speed ``vth`` (λD = vth/wp).  Solved by
+    Newton iteration on ζ using Z'(ζ) = −2(1 + ζZ(ζ)), seeded from the
+    Bohm–Gross frequency and the asymptotic damping estimate.  Im ω < 0
+    is the Landau damping rate; requires ``scipy`` (raises ImportError
+    otherwise — use the asymptotic helpers below to degrade).
+    """
+    if k <= 0 or vth <= 0 or wp <= 0:
+        raise ValueError("k, vth and wp must be positive")
+    kld = k * vth / wp                       # k·λD
+    inv_k2ld2 = 1.0 / (kld * kld)
+    # Bohm–Gross + asymptotic γ as the Newton seed
+    w0 = complex(wp * math.sqrt(1.0 + 3.0 * kld * kld),
+                 -_landau_gamma_asymptotic(kld, wp))
+    scale = math.sqrt(2.0) * k * vth
+    zeta = w0 / scale
+    for _ in range(60):
+        z = _plasma_z(zeta)
+        eps = 1.0 + inv_k2ld2 * (1.0 + zeta * z)
+        deps = inv_k2ld2 * (z + zeta * (-2.0) * (1.0 + zeta * z))
+        step = eps / deps
+        zeta = zeta - step
+        if abs(step) < 1e-14 * max(1.0, abs(zeta)):
+            break
+    return zeta * scale
+
+
+def _landau_gamma_asymptotic(kld: float, wp: float) -> float:
+    """Small-kλD asymptotic damping rate (used as seed and as the
+    scipy-free fallback): γ ≈ √(π/8)·ωp/(kλD)³·exp(−1/(2k²λD²) − 3/2)."""
+    return (math.sqrt(math.pi / 8.0) * wp / kld ** 3
+            * math.exp(-0.5 / (kld * kld) - 1.5))
+
+
+def landau_damping_rate(k: float, vth: float = 1.0,
+                        wp: float = 1.0) -> float:
+    """Landau damping rate γ > 0 of the Langmuir mode at wavenumber
+    ``k`` (field *amplitude* decays as e^{−γt}; energy at 2γ).  Uses the
+    exact kinetic root when scipy is available, the textbook asymptotic
+    form otherwise."""
+    try:
+        return -landau_root(k, vth, wp).imag
+    except ImportError:          # pragma: no cover - scipy always in CI
+        return _landau_gamma_asymptotic(k * vth / wp, wp)
+
+
+def landau_frequency(k: float, vth: float = 1.0, wp: float = 1.0) -> float:
+    """Real oscillation frequency of the Langmuir mode at ``k``
+    (kinetic root; Bohm–Gross without scipy)."""
+    try:
+        return landau_root(k, vth, wp).real
+    except ImportError:          # pragma: no cover - scipy always in CI
+        kld = k * vth / wp
+        return wp * math.sqrt(1.0 + 3.0 * kld * kld)
 
 
 def fit_exponential_rate(t: np.ndarray, energy: np.ndarray) -> float:

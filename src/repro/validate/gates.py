@@ -1,0 +1,280 @@
+"""Physics gate driver: run an oracle app and check closed-form theory.
+
+``run_physics_gates(app, backend, transport, strategy, profile)`` runs
+one validation app on one backend × strategy (× transport for the
+distributed app) combination and returns a :class:`GateReport` whose
+gates compare *measured* physics against kinetic theory:
+
+* ``landau`` — 1-D Maxwellian plasma, fundamental mode at kλD = 0.5.
+  Gates: mode-energy damping rate vs the exact kinetic root ``2γ``,
+  oscillation frequency vs ``Re ω``, plus the conservation ledger.
+* ``multispecies`` — two cold counter-streaming beams as *separate
+  particle sets* sharing the field Dats, tuned to the fastest-growing
+  two-stream mode.  Gates: growth rate vs ``2γ = 2ωp/√8``, ledger.
+* ``twostream`` — the electromagnetic CabanaPIC two-stream app (the
+  paper's reference app), optionally through the distributed driver
+  (``transport="sim"|"proc"``).  Its cell-centred deposit measures the
+  cold-beam rate only to a factor ~1.5, so its gate is the documented
+  factor-2 band rather than a tight tolerance.
+
+Tolerances are *documented measurements*, not aspirations: the ``ci``
+profile resolutions were calibrated so the measured error sits at
+roughly half the gate (see ``docs/validation.md`` for the table).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.field.theory import (landau_damping_rate, landau_frequency,
+                                two_stream_growth_rate)
+
+from .ledger import ConservationLedger
+from .measure import measure_damping, measure_growth
+
+__all__ = ["GATE_APPS", "STRATEGY_OPTIONS", "GateResult", "GateReport",
+           "run_physics_gates"]
+
+GATE_APPS = ("landau", "twostream", "multispecies")
+
+#: reduction-strategy axis swept by the physics CI job: the named
+#: backend option sets that change how generated loops execute without
+#: being allowed to change any physics.
+STRATEGY_OPTIONS: Dict[str, dict] = {
+    "default": {},
+    "sparse_csr": {"strategy": "sparse_csr"},
+    "locality_always": {"locality": "always"},
+}
+
+#: per-app resolution/tolerance profiles.  ``ci`` is sized for the CI
+#: physics job (seconds on vec, <1 min on seq); ``full`` is the
+#: higher-resolution overnight profile.
+PROFILES: Dict[str, Dict[str, dict]] = {
+    "ci": {
+        "landau": {"nz": 48, "ppc": 200, "n_steps": 200,
+                   "rate_tol": 0.20, "freq_tol": 0.05,
+                   "energy_tol": 5e-3},
+        "multispecies": {"nz": 32, "ppc": 100, "n_steps": 240,
+                         "rate_tol": 0.15, "energy_tol": 5e-2},
+        "twostream": {"nz": 32, "ppc": 100, "n_steps": 340,
+                      "band": (0.5, 2.0)},
+    },
+    "full": {
+        "landau": {"nz": 128, "ppc": 600, "n_steps": 220,
+                   "rate_tol": 0.15, "freq_tol": 0.03,
+                   "energy_tol": 5e-3},
+        "multispecies": {"nz": 64, "ppc": 200, "n_steps": 260,
+                         "rate_tol": 0.15, "energy_tol": 5e-2},
+        "twostream": {"nz": 48, "ppc": 150, "n_steps": 340,
+                      "band": (0.5, 2.0)},
+    },
+}
+
+_CHARGE_TOL = 1e-12      # deposited charge: conserved to rounding
+_MOMENTUM_TOL = 1e-12    # net momentum relative to thermal momentum
+
+
+@dataclass(frozen=True)
+class GateResult:
+    """One measured quantity against its theory bounds."""
+
+    name: str
+    measured: float
+    expected: float
+    lo: float
+    hi: float
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.lo <= self.measured <= self.hi)
+
+    @property
+    def rel_error(self) -> float:
+        scale = max(abs(self.expected), 1e-300)
+        return abs(self.measured - self.expected) / scale
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "measured": self.measured,
+                "expected": self.expected, "lo": self.lo,
+                "hi": self.hi, "rel_error": self.rel_error,
+                "ok": self.ok}
+
+    def __str__(self) -> str:
+        mark = "ok  " if self.ok else "FAIL"
+        return (f"[{mark}] {self.name:<14} measured {self.measured:+.5f}"
+                f"  theory {self.expected:+.5f}"
+                f"  (err {self.rel_error * 100.0:5.1f}%, gate"
+                f" [{self.lo:+.5f}, {self.hi:+.5f}])")
+
+
+@dataclass
+class GateReport:
+    """Everything one gate run produced."""
+
+    app: str
+    backend: str
+    strategy: str
+    profile: str
+    transport: Optional[str] = None
+    gates: List[GateResult] = field(default_factory=list)
+    ledger: ConservationLedger = field(
+        default_factory=ConservationLedger)
+
+    def gate(self, name: str, measured: float, expected: float,
+             rel_tol: Optional[float] = None,
+             band: Optional[tuple] = None) -> GateResult:
+        if band is not None:
+            lo, hi = band[0] * expected, band[1] * expected
+        else:
+            lo = expected * (1.0 - rel_tol)
+            hi = expected * (1.0 + rel_tol)
+        result = GateResult(name, float(measured), float(expected),
+                            min(lo, hi), max(lo, hi))
+        self.gates.append(result)
+        return result
+
+    @property
+    def ok(self) -> bool:
+        return all(g.ok for g in self.gates) and self.ledger.ok
+
+    def to_dict(self) -> dict:
+        return {"app": self.app, "backend": self.backend,
+                "strategy": self.strategy, "profile": self.profile,
+                "transport": self.transport, "ok": self.ok,
+                "gates": [g.to_dict() for g in self.gates],
+                "ledger": self.ledger.to_dict()}
+
+    def summary(self) -> str:
+        where = f"{self.app} on {self.backend}/{self.strategy}"
+        if self.transport:
+            where += f" transport={self.transport}"
+        lines = [f"physics gates: {where} (profile {self.profile})"]
+        lines += [f"  {g}" for g in self.gates]
+        lines += [f"  {e}" for e in self.ledger.entries]
+        lines.append(f"  => {'PASS' if self.ok else 'FAIL'}")
+        return "\n".join(lines)
+
+
+def _backend_options(strategy: str) -> dict:
+    try:
+        return dict(STRATEGY_OPTIONS[strategy])
+    except KeyError:
+        raise ValueError(f"unknown strategy {strategy!r}; expected one"
+                         f" of {tuple(STRATEGY_OPTIONS)}") from None
+
+
+def _electrostatic_history(config, backend: str, strategy: str):
+    from repro.apps.landau import ElectrostaticSimulation
+    sim = ElectrostaticSimulation(config.scaled(
+        backend=backend, backend_options=_backend_options(strategy)))
+    sim.run()
+    return sim.times(), sim.history
+
+
+def _ledger_electrostatic(report: GateReport, config, history,
+                          energy_tol: float) -> None:
+    ke0 = history["kinetic_energy"][0]
+    p_scale = float(np.sqrt(2.0 * config.lz * max(ke0, 1e-300)))
+    report.ledger.bound("total_energy", history["total_energy"],
+                        energy_tol)
+    report.ledger.bound("charge", history["charge"], _CHARGE_TOL)
+    report.ledger.bound("momentum", history["momentum"], _MOMENTUM_TOL,
+                        scale=p_scale)
+    report.ledger.bound_constant("n_particles", history["n_particles"])
+
+
+def _run_landau(report: GateReport, prof: dict) -> GateReport:
+    from repro.apps.landau import landau_config
+    cfg = landau_config(nz=prof["nz"], ppc=prof["ppc"],
+                        n_steps=prof["n_steps"])
+    t, history = _electrostatic_history(cfg, report.backend,
+                                        report.strategy)
+    fit = measure_damping(t, history["mode_energy"])
+    k = cfg.k1
+    report.gate("damping_2g", fit.rate, 2.0 * landau_damping_rate(k),
+                rel_tol=prof["rate_tol"])
+    report.gate("frequency", fit.frequency, landau_frequency(k),
+                rel_tol=prof["freq_tol"])
+    _ledger_electrostatic(report, cfg, history, prof["energy_tol"])
+    return report
+
+
+def _run_multispecies(report: GateReport, prof: dict) -> GateReport:
+    from repro.apps.landau import two_beam_config
+    cfg = two_beam_config(nz=prof["nz"], ppc=prof["ppc"],
+                          n_steps=prof["n_steps"])
+    t, history = _electrostatic_history(cfg, report.backend,
+                                        report.strategy)
+    fit = measure_growth(t, history["mode_energy"])
+    v0 = abs(cfg.species[0].drift)
+    gamma = two_stream_growth_rate(cfg.k1, v0, cfg.plasma_frequency)
+    report.gate("growth_2g", fit.rate, 2.0 * gamma,
+                rel_tol=prof["rate_tol"])
+    _ledger_electrostatic(report, cfg, history, prof["energy_tol"])
+    return report
+
+
+def _run_twostream(report: GateReport, prof: dict) -> GateReport:
+    from repro.apps.cabana import CabanaConfig, CabanaSimulation
+    lz = 2.0
+    k = 2.0 * np.pi / lz
+    v0 = float(np.sqrt(3.0 / 8.0)) / k       # fastest-growing, wp = 1
+    cfg = CabanaConfig(
+        nx=2, ny=2, nz=prof["nz"], lx=0.2, ly=0.2, lz=lz,
+        ppc=prof["ppc"], v0=v0, perturbation=5e-3, mode=1,
+        n_steps=prof["n_steps"], cfl=0.4, backend=report.backend,
+        backend_options=_backend_options(report.strategy))
+    if report.transport is None:
+        sim = CabanaSimulation(cfg)
+        sim.run()
+        history = sim.history
+    else:
+        from repro.dist.driver import run_distributed
+        result = run_distributed("cabana", cfg, nranks=2,
+                                 transport=report.transport)
+        history = result.history
+    e = np.asarray(history["e_energy"], dtype=np.float64)
+    t = (np.arange(e.size) + 1.0) * cfg.dt
+    # full-window fit spanning transient + linear growth, same as the
+    # long-standing slow test; gate is the documented factor-2 band
+    fit = measure_growth(t, e, window=(5, min(300, e.size)))
+    gamma = two_stream_growth_rate(k, v0, 1.0)
+    report.gate("growth_2g", fit.rate, 2.0 * gamma,
+                band=prof["band"])
+    return report
+
+
+_RUNNERS = {"landau": _run_landau, "multispecies": _run_multispecies,
+            "twostream": _run_twostream}
+
+
+def run_physics_gates(app: str, backend: str = "vec",
+                      transport: Optional[str] = None,
+                      strategy: str = "default",
+                      profile: str = "ci") -> GateReport:
+    """Run the physics gates of one validation app.
+
+    ``transport`` (``"sim"`` or ``"proc"``) routes the run through the
+    distributed driver and is only meaningful for ``twostream`` — the
+    electrostatic oracles are single-domain by design (their FFT field
+    solve is global), so they sweep backend × strategy instead.
+    """
+    if app not in GATE_APPS:
+        raise ValueError(f"unknown gate app {app!r}; expected one of"
+                         f" {GATE_APPS}")
+    if transport is not None and app != "twostream":
+        raise ValueError(
+            f"transport={transport!r} is only supported for the"
+            " 'twostream' gate; electrostatic oracles are single-domain")
+    if transport not in (None, "sim", "proc"):
+        raise ValueError(f"unknown transport {transport!r}")
+    try:
+        prof = PROFILES[profile][app]
+    except KeyError:
+        raise ValueError(f"unknown profile {profile!r}; expected one"
+                         f" of {tuple(PROFILES)}") from None
+    report = GateReport(app=app, backend=backend, strategy=strategy,
+                        profile=profile, transport=transport)
+    return _RUNNERS[app](report, prof)

@@ -1,0 +1,94 @@
+"""Conservation ledgers: bounded-drift checks on history series.
+
+A :class:`ConservationLedger` collects named series (total energy,
+deposited charge, momentum, particle counts) and bounds the *relative
+drift* of each — ``max|x(t) − x(0)|`` divided by a characteristic
+scale.  The scale defaults to ``max(|x(0)|, max|x|)`` which is right
+for quantities conserved away from zero (energy, net charge); series
+conserved *at* zero (net momentum of symmetric beams) must pass an
+explicit physical scale (e.g. the thermal momentum) or the ratio would
+be 0/0 noise.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["DriftEntry", "ConservationLedger", "relative_drift"]
+
+_TINY = 1e-300
+
+
+def relative_drift(series: Sequence[float],
+                   scale: Optional[float] = None) -> float:
+    """``max|x(t) − x(0)| / scale`` over a history series."""
+    x = np.asarray(series, dtype=np.float64)
+    if x.size < 2:
+        return 0.0
+    if scale is None:
+        scale = max(abs(float(x[0])), float(np.abs(x).max()))
+    return float(np.abs(x - x[0]).max() / max(abs(scale), _TINY))
+
+
+@dataclass(frozen=True)
+class DriftEntry:
+    """One bounded series of a ledger."""
+
+    name: str
+    drift: float
+    tolerance: float
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.drift <= self.tolerance)
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "drift": self.drift,
+                "tolerance": self.tolerance, "ok": self.ok}
+
+    def __str__(self) -> str:
+        mark = "ok  " if self.ok else "FAIL"
+        return (f"[{mark}] {self.name:<14} drift {self.drift:.3e}"
+                f" <= {self.tolerance:.1e}")
+
+
+@dataclass
+class ConservationLedger:
+    """Accumulates drift bounds; ``ok`` iff every entry holds."""
+
+    entries: List[DriftEntry] = field(default_factory=list)
+
+    def bound(self, name: str, series: Sequence[float],
+              tolerance: float,
+              scale: Optional[float] = None) -> DriftEntry:
+        entry = DriftEntry(name, relative_drift(series, scale),
+                           tolerance)
+        self.entries.append(entry)
+        return entry
+
+    def bound_constant(self, name: str,
+                       series: Sequence[float]) -> DriftEntry:
+        """Bound a series that must stay *exactly* its initial value
+        (particle counts): any change at all fails."""
+        x = np.asarray(series, dtype=np.float64)
+        drift = 0.0 if x.size < 2 else float(np.abs(x - x[0]).max())
+        entry = DriftEntry(name, drift, 0.0)
+        self.entries.append(entry)
+        return entry
+
+    @property
+    def ok(self) -> bool:
+        return all(e.ok for e in self.entries)
+
+    @property
+    def failures(self) -> List[DriftEntry]:
+        return [e for e in self.entries if not e.ok]
+
+    def to_dict(self) -> dict:
+        return {"ok": self.ok,
+                "entries": [e.to_dict() for e in self.entries]}
+
+    def __str__(self) -> str:
+        return "\n".join(str(e) for e in self.entries)

@@ -179,6 +179,21 @@ def _build_world(case: Case) -> dict:
         "g_max": decl_global(1, np.float64, [-np.inf], "g_max"),
         "n_removed": 0,
     }
+    # second particle set sharing the cell dats (the multi-species
+    # pattern: two sets, one accumulator).  Drawn strictly *after* every
+    # other rng draw so pre-existing seeds keep their worlds.
+    n_parts_b = int(rng.integers(4, 33))
+    parts_b = decl_particle_set(cells, n_parts_b, "parts_b")
+    world["parts_b"] = parts_b
+    world["p2c_b"] = decl_map(parts_b, cells, 1,
+                              rng.integers(0, case.n_cells,
+                                           size=(n_parts_b, 1)), "p2c_b")
+    world["w_b"] = decl_dat(parts_b, 2, np.float64,
+                            rng.normal(size=(n_parts_b, 2)), "w_b")
+    world["out_b"] = decl_dat(parts_b, 2, np.float64,
+                              np.ones((n_parts_b, 2)), "out_b")
+    world["pid_b"] = decl_dat(parts_b, 1, np.int64,
+                              np.arange(n_parts_b), "pid_b")
     return world
 
 
@@ -258,6 +273,25 @@ def _op_move(w: dict) -> None:
     w["n_removed"] += res.n_removed
 
 
+def _op_two_set_shared_inc(w: dict) -> None:
+    """Multi-species: both particle sets scatter-add into ONE cell dat
+    (each through its own p2c map), then the second set gathers the
+    combined result back — the loop pattern of the multi-species
+    validation app."""
+    par_loop(K.k_p2c_inc, "c_shared_inc_a", w["parts"],
+             OPP_ITERATE_ALL,
+             arg_dat(w["w"], OPP_READ),
+             arg_dat(w["cell_acc"], w["p2c"], OPP_INC))
+    par_loop(K.k_p2c_inc_b, "c_shared_inc_b", w["parts_b"],
+             OPP_ITERATE_ALL,
+             arg_dat(w["w_b"], OPP_READ),
+             arg_dat(w["cell_acc"], w["p2c_b"], OPP_INC))
+    par_loop(K.k_p2c_gather, "c_shared_gather_b", w["parts_b"],
+             OPP_ITERATE_ALL,
+             arg_dat(w["cell_acc"], w["p2c_b"], OPP_READ),
+             arg_dat(w["out_b"], OPP_RW))
+
+
 def _op_p2c_inc_sparse(w: dict) -> None:
     with _forced_strategy("sparse_csr"):
         _op_p2c_inc(w)
@@ -271,6 +305,11 @@ def _op_double_deposit_sparse(w: dict) -> None:
 def _op_p2c_gather_sparse(w: dict) -> None:
     with _forced_strategy("sparse_csr"):
         _op_p2c_gather(w)
+
+
+def _op_two_set_shared_inc_sparse(w: dict) -> None:
+    with _forced_strategy("sparse_csr"):
+        _op_two_set_shared_inc(w)
 
 
 OPS: Dict[str, Callable[[dict], None]] = {
@@ -289,6 +328,9 @@ OPS: Dict[str, Callable[[dict], None]] = {
     "p2c_inc_sparse": _op_p2c_inc_sparse,
     "double_deposit_sparse": _op_double_deposit_sparse,
     "p2c_gather_sparse": _op_p2c_gather_sparse,
+    # multi-species ops: two particle sets sharing one cell accumulator
+    "two_set_shared_inc": _op_two_set_shared_inc,
+    "two_set_shared_inc_sparse": _op_two_set_shared_inc_sparse,
 }
 OP_NAMES = tuple(sorted(OPS))
 
@@ -331,6 +373,12 @@ def _snapshot(w: dict) -> Dict[str, np.ndarray]:
     state["pos"] = w["pos"].data[order].copy()
     state["w"] = w["w"].data[order].copy()
     state["out"] = w["out"].data[order].copy()
+    nb = w["parts_b"].size
+    order_b = np.argsort(w["pid_b"].data[:nb, 0], kind="stable")
+    state["pid_b"] = w["pid_b"].data[order_b, 0].copy()
+    state["p2c_b_assign"] = w["p2c_b"].p2c[:nb][order_b].copy()
+    state["w_b"] = w["w_b"].data[order_b].copy()
+    state["out_b"] = w["out_b"].data[order_b].copy()
     state["n_removed"] = np.asarray([w["n_removed"]])
     return state
 

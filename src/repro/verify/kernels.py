@@ -14,9 +14,9 @@ from __future__ import annotations
 
 __all__ = [
     "k_direct_axpy", "k_direct_write", "k_direct_inc", "k_mesh_gather",
-    "k_mesh_inc", "k_p2c_gather", "k_p2c_inc", "k_double_deposit",
-    "k_gbl_reduce", "k_walk", "k_clamp_inc", "k_clamp_gather",
-    "k_node_gather", "k_walk_geom",
+    "k_mesh_inc", "k_p2c_gather", "k_p2c_inc", "k_p2c_inc_b",
+    "k_double_deposit", "k_gbl_reduce", "k_walk", "k_clamp_inc",
+    "k_clamp_gather", "k_node_gather", "k_walk_geom",
 ]
 
 
@@ -58,6 +58,13 @@ def k_p2c_gather(c, out):
 def k_p2c_inc(w, acc):
     """Particle-indirect INC: scatter-add into the particle's cell."""
     acc[0] += w[0] * w[1]
+
+
+def k_p2c_inc_b(w, acc):
+    """Second-species scatter-add into the *same* cell dat as
+    :func:`k_p2c_inc` — the multi-species shared-deposit pattern (two
+    particle sets, one accumulator)."""
+    acc[0] += 0.5 * w[0] - w[1]
 
 
 def k_double_deposit(w, na, nb):

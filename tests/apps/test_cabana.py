@@ -87,3 +87,30 @@ def test_perf_breakdown_contains_paper_kernels(baseline):
     move = baseline.ctx.perf.get("Move_Deposit")
     assert move.is_move
     assert move.hops >= baseline.cfg.n_particles  # at least one per step
+
+
+def test_conservation_ledger_smoke():
+    """Bounded-drift ledger over the smoke run: total (field + kinetic)
+    energy drifts below 1e-3, net beam momentum is conserved at machine
+    precision, and the periodic domain never loses a particle."""
+    from repro.validate import ConservationLedger
+
+    cfg = CabanaConfig.smoke()
+    sim = CabanaSimulation(cfg)
+    total, pz, count = [], [], []
+    for _ in range(cfg.n_steps):
+        sim.step()
+        n = sim.parts.size
+        vel = sim.vel.data[:n]
+        ke = 0.5 * cfg.msp * cfg.weight * float((vel * vel).sum())
+        total.append(sim.history["e_energy"][-1]
+                     + sim.history["b_energy"][-1] + ke)
+        pz.append(cfg.msp * cfg.weight * float(vel[:, 2].sum()))
+        count.append(n)
+    p_scale = cfg.msp * cfg.weight \
+        * float(np.abs(sim.vel.data[:sim.parts.size]).sum())
+    ledger = ConservationLedger()
+    ledger.bound("total_energy", total, 1e-3)
+    ledger.bound("momentum_z", pz, 1e-12, scale=p_scale)
+    ledger.bound_constant("n_particles", count)
+    assert ledger.ok, f"conservation ledger failed:\n{ledger}"

@@ -136,3 +136,27 @@ def test_thermal_injection():
     assert vz.std() > 0.05              # spread exists
     assert (vz > 0).all()               # flux points into the duct
     assert abs(vx.mean()) < 0.2         # transverse drift-free
+
+
+def test_conservation_ledger_smoke():
+    """Bounded-drift ledger over a smoke run.  Mini-FEM-PIC is an open
+    system (inlet injection, wall absorption) so total energy is not
+    conserved — what must hold every step is exact charge accounting:
+    deposited node charge per particle stays exactly 1 (each particle's
+    barycentric weights sum to one), and the particle balance
+    (injected − removed) matches the population."""
+    from repro.validate import ConservationLedger
+
+    sim = FemPicSimulation(FemPicConfig.smoke().scaled(n_steps=8))
+    charge_per_particle, balance_defect = [], []
+    for _ in range(sim.cfg.n_steps):
+        sim.step()
+        charge_per_particle.append(sim.nw.data.sum() / sim.parts.size)
+        hist = sim.history
+        balance_defect.append(hist["n_particles"][-1]
+                              - (sum(hist["injected"])
+                                 - sum(hist["removed"])))
+    ledger = ConservationLedger()
+    ledger.bound("charge_per_particle", charge_per_particle, 1e-12)
+    ledger.bound_constant("particle_balance", balance_defect)
+    assert ledger.ok, f"conservation ledger failed:\n{ledger}"

@@ -49,6 +49,8 @@ def rng():
 def pytest_addoption(parser):
     parser.addoption("--slow", action="store_true", default=False,
                      help="run slow tests")
+    parser.addoption("--physics", action="store_true", default=False,
+                     help="run full-length physics gate tests")
     parser.addoption("--conformance-cases", action="store", default=25,
                      type=int,
                      help="randomized cases per backend in the "
@@ -56,12 +58,16 @@ def pytest_addoption(parser):
 
 
 def pytest_collection_modifyitems(config, items):
-    if config.getoption("--slow"):
-        return
-    skip = pytest.mark.skip(reason="slow test: pass --slow to run")
+    run_slow = config.getoption("--slow")
+    run_physics = config.getoption("--physics")
+    skip_slow = pytest.mark.skip(reason="slow test: pass --slow to run")
+    skip_physics = pytest.mark.skip(
+        reason="physics gate test: pass --physics to run")
     for item in items:
-        if "slow" in item.keywords:
-            item.add_marker(skip)
+        if not run_slow and "slow" in item.keywords:
+            item.add_marker(skip_slow)
+        if not run_physics and "physics" in item.keywords:
+            item.add_marker(skip_physics)
 
 
 def pytest_configure(config):
@@ -70,6 +76,10 @@ def pytest_configure(config):
         "markers",
         "conformance: differential backend-conformance suite "
         "(run alone with -m conformance)")
+    config.addinivalue_line(
+        "markers",
+        "physics: full-length physics gate run against closed-form "
+        "theory (run with --physics or -m physics --physics)")
 
 
 @pytest.hookimpl(hookwrapper=True)

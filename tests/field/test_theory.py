@@ -42,3 +42,40 @@ def test_fit_exponential_rate():
         fit_exponential_rate(t, -e)
     with pytest.raises(ValueError):
         fit_exponential_rate(t[:5], e)
+
+
+def test_landau_root_benchmark_points():
+    """Exact kinetic roots at the textbook kλD points (ωp = vth = 1):
+    values from the standard tabulation of the Langmuir dispersion."""
+    from repro.field import landau_damping_rate, landau_frequency, landau_root
+    w = landau_root(0.5)
+    assert w.real == pytest.approx(1.41566, abs=2e-5)
+    assert -w.imag == pytest.approx(0.153359, abs=2e-6)
+    assert landau_damping_rate(0.3) == pytest.approx(0.012620, abs=2e-6)
+    assert landau_damping_rate(0.4) == pytest.approx(0.066128, abs=2e-6)
+    assert landau_frequency(0.5) == pytest.approx(1.41566, abs=2e-5)
+
+
+def test_landau_root_scales_with_plasma_parameters():
+    """ω scales linearly with ωp at fixed kλD (k rescaled with vth)."""
+    from repro.field import landau_root
+    base = landau_root(0.5, vth=1.0, wp=1.0)
+    scaled = landau_root(1.0, vth=1.0, wp=2.0)   # same kλD = 0.5
+    assert scaled.real == pytest.approx(2.0 * base.real, rel=1e-10)
+    assert scaled.imag == pytest.approx(2.0 * base.imag, rel=1e-10)
+
+
+def test_landau_root_weak_damping_limit():
+    """Small kλD: damping vanishes and ω approaches Bohm–Gross."""
+    from repro.field import landau_damping_rate, landau_frequency
+    assert landau_damping_rate(0.1) < 1e-10
+    assert landau_frequency(0.1) == pytest.approx(
+        math.sqrt(1.0 + 3.0 * 0.01), rel=1e-3)
+
+
+def test_landau_root_rejects_bad_args():
+    from repro.field import landau_root
+    for bad in ({"k": -0.5}, {"k": 0.5, "vth": 0.0},
+                {"k": 0.5, "wp": -1.0}):
+        with pytest.raises(ValueError):
+            landau_root(**bad)

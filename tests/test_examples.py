@@ -10,7 +10,8 @@ EXAMPLES = sorted((Path(__file__).resolve().parent.parent
 
 EXPECTED = {"quickstart.py", "fempic_duct.py", "cabana_twostream.py",
             "distributed_mpi.py", "advection_gallery.py",
-            "translator_inspect.py"}
+            "translator_inspect.py", "twod_langmuir.py",
+            "landau_damping.py"}
 
 
 def test_expected_examples_present():
@@ -35,3 +36,19 @@ def test_fast_examples_always_run(name, tmp_path):
                             capture_output=True, text=True, timeout=300,
                             cwd=path.parent.parent)
     assert result.returncode == 0, result.stderr[-2000:]
+
+
+@pytest.mark.parametrize("name", ["cabana_twostream.py",
+                                  "twod_langmuir.py",
+                                  "landau_damping.py"])
+def test_physics_examples_headless_smoke(name, tmp_path):
+    """The physics examples must run headlessly with a tiny step count
+    (and say why the rate fit was skipped) — the full-length runs stay
+    behind --slow."""
+    path = next(p for p in EXAMPLES if p.name == name)
+    result = subprocess.run([sys.executable, str(path), "--steps", "8"],
+                            capture_output=True, text=True, timeout=300,
+                            cwd=path.parent.parent)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "too short" in result.stdout or "less than two" \
+        in result.stdout, result.stdout[-2000:]

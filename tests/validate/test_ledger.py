@@ -1,0 +1,44 @@
+"""Conservation-ledger unit tests."""
+import numpy as np
+
+from repro.validate import ConservationLedger, relative_drift
+
+
+def test_relative_drift_basic():
+    assert relative_drift([10.0, 10.0, 10.0]) == 0.0
+    assert relative_drift([10.0, 10.5, 9.8]) == \
+        np.float64(0.5 / 10.5)
+    assert relative_drift([1.0]) == 0.0
+
+
+def test_relative_drift_explicit_scale():
+    # zero-mean conserved series: meaningless without a physical scale
+    assert relative_drift([0.0, 1e-16, -1e-16], scale=1.0) == 1e-16
+
+
+def test_ledger_pass_and_fail():
+    ledger = ConservationLedger()
+    ledger.bound("energy", [1.0, 1.0001, 0.9999], 1e-3)
+    ledger.bound("charge", [-5.0, -5.0, -5.0], 1e-12)
+    assert ledger.ok
+    bad = ledger.bound("momentum", [0.0, 0.5], 1e-6, scale=1.0)
+    assert not bad.ok
+    assert not ledger.ok
+    assert ledger.failures == [bad]
+    assert "FAIL" in str(bad)
+    assert str(ledger).count("\n") == 2
+
+
+def test_ledger_bound_constant():
+    ledger = ConservationLedger()
+    assert ledger.bound_constant("n", [100, 100, 100]).ok
+    assert not ledger.bound_constant("n2", [100, 99]).ok
+
+
+def test_ledger_to_dict_roundtrip():
+    ledger = ConservationLedger()
+    ledger.bound("energy", [1.0, 1.001], 1e-2)
+    d = ledger.to_dict()
+    assert d["ok"] is True
+    assert d["entries"][0]["name"] == "energy"
+    assert 0 < d["entries"][0]["drift"] < d["entries"][0]["tolerance"]

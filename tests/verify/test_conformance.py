@@ -88,6 +88,30 @@ def test_catalog_covers_descriptor_matrix():
     assert required <= seen
 
 
+def test_two_set_shared_dat_op_sums_both_sets():
+    """The multi-species op must accumulate contributions from BOTH
+    particle sets into the one shared cell dat (and snapshot the second
+    set's state so divergences there are caught)."""
+    from repro.core.api import Context, push_context
+    case = generate_case(11).replace(program=("two_set_shared_inc",))
+    state = run_case(case, _conformance_backend("seq"))
+    with push_context(Context("seq")):
+        w = _build_world(case)
+    acc = np.zeros(case.n_cells)
+    wa = w["w"].data[: w["parts"].size]
+    np.add.at(acc, w["p2c"].p2c[: w["parts"].size],
+              wa[:, 0] * wa[:, 1])
+    wb = w["w_b"].data[: w["parts_b"].size]
+    np.add.at(acc, w["p2c_b"].p2c[: w["parts_b"].size],
+              0.5 * wb[:, 0] - wb[:, 1])
+    assert np.allclose(state["cell_acc"][:, 0], acc, rtol=1e-12)
+    for key in ("pid_b", "p2c_b_assign", "w_b", "out_b"):
+        assert key in state
+    # the trailing gather saw the combined deposit of both sets
+    assert not np.allclose(state["out_b"],
+                           np.ones_like(state["out_b"]))
+
+
 # -- per-op single-program conformance -----------------------------------------
 
 
