@@ -22,8 +22,16 @@ direction is good:
   baseline's own numbers.  Per-gate ``tolerance`` defaults to 0 here
   (the threshold already encodes the headroom).
 
-The same floor can be imposed from the command line without touching the
-baseline: ``--min-ratio seconds.a/seconds.b=2.0`` (repeatable).
+* ``"max_value"`` — a dotted-path key of the *current* payload
+  (``path``) must not exceed ``max`` · (1 + tolerance).  The absolute
+  counterpart of ``min_ratio``: a hard ceiling (a latency SLO such as
+  "p99 ≤ 2 s", a byte budget, an iteration cap) that never drifts with
+  the baseline's own numbers.  Per-gate ``tolerance`` defaults to 0
+  (the ceiling already encodes the headroom).
+
+The same bounds can be imposed from the command line without touching
+the baseline: ``--min-ratio seconds.a/seconds.b=2.0`` and
+``--max-value latency.p99=2.0`` (both repeatable).
 
 Only gated metrics are compared; everything else in the payload is
 informational (absolute wall-clock on shared runners is noise, ratios and
@@ -72,6 +80,22 @@ def _check_min_ratio(gate: dict, current: dict, failures: list) -> None:
             f"({num_key}={num:.4g}, {den_key}={den:.4g})")
 
 
+def _check_max_value(gate: dict, current: dict, failures: list) -> None:
+    path = gate["path"]
+    label = gate.get("metric", path)
+    ceiling = float(gate["max"]) * (1.0 + float(gate.get("tolerance",
+                                                         0.0)))
+    value = lookup_path(current, path)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        failures.append(f"{label}: {path!r} missing or non-numeric in "
+                        f"current payload")
+        return
+    if value > ceiling:
+        failures.append(
+            f"{label}: {value:.4g} > ceiling {ceiling:.4g} "
+            f"(absolute gate, max={gate['max']})")
+
+
 def compare(baseline: dict, current: dict, tolerance: float) -> list:
     """Return a list of human-readable regression messages (empty = pass)."""
     failures = []
@@ -81,6 +105,9 @@ def compare(baseline: dict, current: dict, tolerance: float) -> list:
         direction = gate["direction"]
         if direction == "min_ratio":
             _check_min_ratio(gate, current, failures)
+            continue
+        if direction == "max_value":
+            _check_max_value(gate, current, failures)
             continue
         name = gate["metric"]
         tol = float(gate.get("tolerance", tolerance))
@@ -117,6 +144,19 @@ def compare(baseline: dict, current: dict, tolerance: float) -> list:
     return failures
 
 
+def parse_max_value(spec: str) -> dict:
+    """``PATH=MAX`` → a ``max_value`` gate dict (CLI convenience)."""
+    try:
+        path, threshold = spec.rsplit("=", 1)
+        if not path.strip():
+            raise ValueError
+        return {"direction": "max_value", "path": path.strip(),
+                "max": float(threshold)}
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--max-value expects DOTTED_PATH=CEILING, got {spec!r}")
+
+
 def parse_min_ratio(spec: str) -> dict:
     """``NUM/DEN=MIN`` → a ``min_ratio`` gate dict (CLI convenience)."""
     try:
@@ -141,13 +181,19 @@ def main(argv=None) -> int:
                         help="extra ratio floor on the current payload, "
                              "e.g. seconds.deposit_segmented/"
                              "seconds.deposit_sparse=2.0 (repeatable)")
+    parser.add_argument("--max-value", action="append", default=[],
+                        type=parse_max_value, metavar="PATH=MAX",
+                        help="extra absolute ceiling on a dotted-path "
+                             "key of the current payload, e.g. "
+                             "latency.p99=2.0 (repeatable)")
     args = parser.parse_args(argv)
 
     baseline = json.loads(Path(args.baseline).read_text())
     current = json.loads(Path(args.current).read_text())
-    if args.min_ratio:
+    if args.min_ratio or args.max_value:
         baseline = dict(baseline)
-        baseline["gates"] = list(baseline.get("gates", [])) + args.min_ratio
+        baseline["gates"] = (list(baseline.get("gates", []))
+                             + args.min_ratio + args.max_value)
     failures = compare(baseline, current, args.tolerance)
     for gate in baseline.get("gates", []):
         if gate["direction"] == "min_ratio":
@@ -157,6 +203,11 @@ def main(argv=None) -> int:
                      and isinstance(den, (int, float)) and den else None)
             print(f"  {gate['numerator']}/{gate['denominator']}: "
                   f"current={ratio!r} required>={gate['min']!r}")
+            continue
+        if gate["direction"] == "max_value":
+            print(f"  {gate['path']}: "
+                  f"current={lookup_path(current, gate['path'])!r} "
+                  f"required<={gate['max']!r}")
             continue
         name = gate["metric"]
         print(f"  {name}: baseline={baseline.get('metrics', {}).get(name)!r}"

@@ -9,6 +9,7 @@ from repro.core.api import (OPP_READ, OPP_RW, Context, arg_dat, decl_const,
                             decl_dat, decl_map, decl_particle_set,
                             decl_set, particle_move, push_context)
 from repro.mesh import HexMesh
+from repro.runtime.objcache import get_or_build
 
 from .config import AdvecConfig
 from .kernels import advect_move_kernel
@@ -51,7 +52,9 @@ class AdvecSimulation:
         self.ctx = Context(cfg.backend, **cfg.backend_options)
         self.rng = np.random.default_rng(cfg.seed)
         # a one-layer brick gives the periodic 2-D quad connectivity
-        self.mesh = HexMesh(cfg.nx, cfg.ny, 1, cfg.lx, cfg.ly, 1.0)
+        self.mesh = get_or_build(
+            ("advec_brick", cfg.nx, cfg.ny, cfg.lx, cfg.ly),
+            lambda: HexMesh(cfg.nx, cfg.ny, 1, cfg.lx, cfg.ly, 1.0))
         _declare_constants(cfg)
 
         self.cells = decl_set(cfg.n_cells, "cells")

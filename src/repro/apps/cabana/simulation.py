@@ -19,6 +19,7 @@ from repro.core.api import (OPP_INC, OPP_ITERATE_ALL, OPP_READ, OPP_RW,
                             decl_global, decl_map, decl_particle_set,
                             decl_set, par_loop, particle_move, push_context)
 from repro.mesh import STENCIL, HexMesh
+from repro.runtime.objcache import get_or_build
 
 from . import kernels as k
 from .config import CabanaConfig
@@ -35,7 +36,11 @@ class CabanaSimulation:
     def __init__(self, config: Optional[CabanaConfig] = None):
         self.cfg = cfg = config or CabanaConfig()
         self.ctx = Context(cfg.backend, **cfg.backend_options)
-        self.mesh = HexMesh(cfg.nx, cfg.ny, cfg.nz, cfg.lx, cfg.ly, cfg.lz)
+        self.mesh = get_or_build(
+            ("cabana_brick", cfg.nx, cfg.ny, cfg.nz, cfg.lx, cfg.ly,
+             cfg.lz),
+            lambda: HexMesh(cfg.nx, cfg.ny, cfg.nz, cfg.lx, cfg.ly,
+                            cfg.lz))
         if cfg.pusher != "boris" and cfg.pusher not in k.PUSHERS:
             raise ValueError(f"unknown pusher {cfg.pusher!r}; available: "
                              f"boris, {sorted(k.PUSHERS)}")

@@ -22,6 +22,7 @@ from repro.fem import DirichletSystem, KSPSolver, build_stiffness, \
     lumped_node_volumes
 from repro.mesh import StructuredOverlay, duct_mesh
 from repro.runtime.dh import direct_hop_assign
+from repro.runtime.objcache import get_or_build
 
 from . import kernels as k
 from .config import FemPicConfig
@@ -83,10 +84,16 @@ class FemPicSimulation:
         self.ctx = Context(cfg.backend, **cfg.backend_options)
         if cfg.mesh_file:
             from repro.mesh.io import load_mesh
-            self.mesh = load_mesh(cfg.mesh_file)
+            self._mesh_key = ("fempic_mesh_file", str(cfg.mesh_file))
+            self.mesh = get_or_build(self._mesh_key,
+                                     lambda: load_mesh(cfg.mesh_file))
         else:
-            self.mesh = duct_mesh(cfg.nx, cfg.ny, cfg.nz, cfg.lx, cfg.ly,
-                                  cfg.lz)
+            self._mesh_key = ("fempic_duct", cfg.nx, cfg.ny, cfg.nz,
+                              cfg.lx, cfg.ly, cfg.lz)
+            self.mesh = get_or_build(
+                self._mesh_key,
+                lambda: duct_mesh(cfg.nx, cfg.ny, cfg.nz, cfg.lx, cfg.ly,
+                                  cfg.lz))
         self._declare_constants()
         self._declare_sets_and_data()
         self._setup_field_solver()
@@ -143,7 +150,10 @@ class FemPicSimulation:
         self.f1 = decl_dat(self.nodes, 1, np.float64, None, "f1_vector")
         self.jdiag = decl_dat(self.nodes, 1, np.float64, None, "j_diag")
         self.nvol = decl_dat(self.nodes, 1, np.float64,
-                             lumped_node_volumes(mesh.points, mesh.cell2node),
+                             get_or_build(
+                                 ("fempic_nvol",) + self._mesh_key,
+                                 lambda: lumped_node_volumes(
+                                     mesh.points, mesh.cell2node)),
                              "node_volume")
 
         self.pos = decl_dat(self.parts, 3, np.float64, None, "position")
@@ -155,7 +165,9 @@ class FemPicSimulation:
     def _setup_field_solver(self) -> None:
         cfg = self.cfg
         mesh = self.mesh
-        self.K = build_stiffness(mesh.points, mesh.cell2node)
+        self.K = get_or_build(
+            ("fempic_stiffness",) + self._mesh_key,
+            lambda: build_stiffness(mesh.points, mesh.cell2node))
         dn = np.concatenate([mesh.tags["inlet_nodes"],
                              mesh.tags["wall_nodes"]])
         dv = np.concatenate([

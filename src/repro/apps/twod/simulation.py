@@ -13,6 +13,7 @@ from repro.core.api import (OPP_INC, OPP_ITERATE_ALL, OPP_READ, OPP_RW,
                             push_context)
 from repro.fem import DirichletSystem, KSPSolver
 from repro.mesh.tri import TriMesh, square_tri_mesh
+from repro.runtime.objcache import get_or_build
 
 from . import kernels as k
 from .config import TwoDConfig
@@ -50,7 +51,10 @@ class TwoDSheetModel:
         self.cfg = cfg = config or TwoDConfig()
         self.ctx = Context(cfg.backend, **cfg.backend_options)
         self.rng = np.random.default_rng(cfg.seed)
-        self.mesh = square_tri_mesh(cfg.nx, cfg.ny, cfg.lx, cfg.ly)
+        mesh_key = ("twod_tri", cfg.nx, cfg.ny, cfg.lx, cfg.ly)
+        self.mesh = get_or_build(
+            mesh_key,
+            lambda: square_tri_mesh(cfg.nx, cfg.ny, cfg.lx, cfg.ly))
 
         decl_const("dt2", cfg.dt)
         decl_const("qm2", cfg.qe / cfg.me)
@@ -77,8 +81,10 @@ class TwoDSheetModel:
         self.vel = decl_dat(self.parts, 2, np.float64, None, "vel2d")
         self.lc = decl_dat(self.parts, 3, np.float64, None, "lc2d")
 
-        self.K = build_tri_stiffness(mesh)
-        self.node_areas = lumped_node_areas(mesh)
+        self.K = get_or_build(("twod_stiffness",) + mesh_key,
+                              lambda: build_tri_stiffness(mesh))
+        self.node_areas = get_or_build(("twod_areas",) + mesh_key,
+                                       lambda: lumped_node_areas(mesh))
         bnodes = mesh.tags["boundary_nodes"]
         self.dirichlet = DirichletSystem(self.K, bnodes,
                                          np.zeros(len(bnodes)))

@@ -162,6 +162,23 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="print machine-readable reports")
     va.add_argument("--quiet", action="store_true")
 
+    sv = sub.add_parser(
+        "serve", help="run the multi-tenant PIC job service")
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=9321,
+                    help="TCP port (0 = pick an ephemeral port)")
+    sv.add_argument("--pool-ranks", type=int, default=2, metavar="N",
+                    help="warm worker processes in the shared pool")
+    sv.add_argument("--backend", default=None,
+                    choices=["seq", "vec", "omp", "mp"],
+                    help="default on-node backend for jobs that do not "
+                    "request one")
+    sv.add_argument("--smoke", action="store_true",
+                    help="self-test: start the service, submit a tiny "
+                    "job mix through the client (including a mid-job "
+                    "worker kill), verify recovery, shut down")
+    sv.add_argument("--quiet", action="store_true")
+
     ms = sub.add_parser("mesh", help="generate a duct mesh file")
     ms.add_argument("--nx", type=int, default=4)
     ms.add_argument("--ny", type=int, default=4)
@@ -450,6 +467,93 @@ def _run_validate(args) -> int:
     return status
 
 
+def _serve_smoke(args) -> int:
+    """End-to-end self-test of the job service on an ephemeral port:
+    a tiny multi-tenant job mix, then an injected mid-job worker kill
+    whose recovered result must be bit-equal to the uninterrupted run."""
+    from repro.service import Client, start_server_thread
+    say = (lambda *a: None) if args.quiet else print
+    handle = start_server_thread(host=args.host, port=0,
+                                 n_workers=max(2, args.pool_ranks),
+                                 default_backend=args.backend)
+    status = 0
+    try:
+        with Client(handle.host, handle.port) as client:
+            client.ping()
+            say(f"service up on {handle.host}:{handle.port} with "
+                f"{max(2, args.pool_ranks)} workers; apps: "
+                f"{sorted(client.schemas())}")
+            tiny = [client.submit(
+                {"app": "advec", "tenant": f"tenant{i % 2}",
+                 "params": {"nx": 6, "ny": 6, "ppc": 2, "n_steps": 10}})
+                for i in range(4)]
+            tiny.append(client.submit(
+                {"app": "landau", "tenant": "tenant2",
+                 "params": {"nz": 24, "ppc": 30, "n_steps": 10}}))
+            for job_id in tiny:
+                res = client.result(job_id, timeout=120)
+                say(f"  {job_id} [{res['app']}]: done "
+                    f"({res['result']['steps']} steps)")
+            fem = {"app": "fempic", "tenant": "tenant3",
+                   "params": {"nx": 2, "ny": 2, "nz": 6,
+                              "plasma_den": 2000.0, "n0": 2000.0,
+                              "n_steps": 12},
+                   "checkpoint_every": 3}
+            baseline = client.result(client.submit(fem), timeout=300)
+            injected = dict(fem, die_at_step=8)
+            recovered = client.result(client.submit(injected),
+                                      timeout=300)
+            same = (recovered["result"]["history"]
+                    == baseline["result"]["history"])
+            say(f"  kill-recovery: rescues={recovered['rescues']} "
+                f"placements={recovered['placements']} "
+                f"history bit-equal={same}")
+            if recovered["rescues"] < 1 or not same:
+                print("serve --smoke FAILED: recovered fempic run "
+                      "does not match the uninterrupted baseline",
+                      file=sys.stderr)
+                status = 1
+            stats = client.stats()
+            say(f"  stats: {stats['counters']}")
+            client.shutdown()
+    finally:
+        handle.stop()
+    if status == 0:
+        say("serve --smoke OK")
+    return status
+
+
+def _run_serve(args) -> int:
+    if args.smoke:
+        return _serve_smoke(args)
+    import asyncio
+
+    from repro.service.server import ServiceServer
+
+    async def _main() -> None:
+        server = ServiceServer(host=args.host, port=args.port,
+                               n_workers=args.pool_ranks,
+                               default_backend=args.backend)
+        await server.start()
+        if not args.quiet:
+            print(f"PIC service listening on {server.host}:"
+                  f"{server.port} ({args.pool_ranks} warm workers"
+                  + (f", default backend {args.backend}"
+                     if args.backend else "") + ")")
+            print("submit NDJSON jobs with repro.service.Client; "
+                  "stop with the 'shutdown' op or Ctrl-C")
+        try:
+            await server.stopped.wait()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _run_mesh(args) -> int:
     from repro.mesh import duct_mesh, save_mesh
     mesh = duct_mesh(args.nx, args.ny, args.nz, args.lx, args.ly, args.lz)
@@ -472,6 +576,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_verify(args)
     if args.command == "validate":
         return _run_validate(args)
+    if args.command == "serve":
+        return _run_serve(args)
     return _run_mesh(args)
 
 

@@ -51,7 +51,7 @@ from ..runtime.comm import SimComm
 from .transport import RankFailure
 
 __all__ = ["ProcTransport", "ProcCluster", "FrameError",
-           "encode_frame", "decode_frame",
+           "encode_frame", "decode_frame", "reap_procs",
            "DEFAULT_OP_TIMEOUT", "DEFAULT_MAX_FRAME"]
 
 _MAGIC = b"OPPC"
@@ -73,6 +73,31 @@ DEFAULT_MAX_FRAME = 64 * 1024 * 1024
 
 class FrameError(ValueError):
     """A frame violated the wire protocol (bad magic/version/length)."""
+
+
+def reap_procs(procs, join_timeout: float = 5.0) -> None:
+    """Deterministically reap rank/worker processes.
+
+    Join every process against one shared deadline, escalate stragglers
+    through ``terminate`` then ``kill``, and finally ``close`` each
+    :class:`multiprocessing.Process` so its OS resources (the process
+    object's sentinel fd and zombie entry) are released immediately
+    instead of at garbage-collection time.  Shared by
+    :class:`ProcCluster` and the service warm pool
+    (:mod:`repro.service.pool`), whose repeated pool recycling would
+    otherwise leak idle rank processes.
+    """
+    deadline = time.monotonic() + join_timeout
+    for p in procs:
+        p.join(timeout=max(0.1, deadline - time.monotonic()))
+    for p in procs:
+        if p.is_alive():
+            p.terminate()
+            p.join(timeout=2.0)
+        if p.is_alive():  # pragma: no cover - last resort
+            p.kill()
+            p.join(timeout=2.0)
+        p.close()
 
 
 # -- frame codec -------------------------------------------------------------------
@@ -572,13 +597,4 @@ class ProcCluster:
                 c.close()
             except OSError:
                 pass
-        deadline = time.monotonic() + 5.0
-        for p in procs:
-            p.join(timeout=max(0.1, deadline - time.monotonic()))
-        for p in procs:
-            if p.is_alive():
-                p.terminate()
-                p.join(timeout=2.0)
-            if p.is_alive():  # pragma: no cover - last resort
-                p.kill()
-                p.join(timeout=2.0)
+        reap_procs(procs)

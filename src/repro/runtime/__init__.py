@@ -1,5 +1,6 @@
 """Distributed-memory substrate: simulated MPI, partitioning, halos,
 particle migration, RMA windows and the direct-hop global mover."""
+from . import objcache
 from .comm import CommStats, SimComm
 from .dh import DirectHopGlobalMover, direct_hop_assign
 from .exchange import migrate, mpi_particle_move, pack_particles
@@ -13,4 +14,4 @@ __all__ = ["SimComm", "CommStats", "partition", "edge_cut", "diffusive",
            "build_rank_meshes", "RankMesh", "HaloPlan", "push_cell_halos",
            "push_node_halos", "reduce_cell_halos", "reduce_node_halos", "migrate",
            "mpi_particle_move", "pack_particles", "RMAWindow",
-           "direct_hop_assign", "DirectHopGlobalMover"]
+           "direct_hop_assign", "DirectHopGlobalMover", "objcache"]

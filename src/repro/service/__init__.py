@@ -1,0 +1,31 @@
+"""PIC-as-a-service: a multi-tenant async job runtime over a shared
+warm pool of simulation worker processes.
+
+The pieces, bottom-up:
+
+* :mod:`repro.service.jobs` — job JSON validation (per-app schemas,
+  structured errors), app adapters, checkpoint payloads;
+* :mod:`repro.service.scheduler` — fair-share priority scheduling with
+  aging and preemption decisions (pure, clock-injected);
+* :mod:`repro.service.pool` — the warm worker pool: persistent
+  processes reusing kernel-translation and mesh/stiffness caches
+  across jobs, speaking the :mod:`repro.dist.proc` frame codec;
+* :mod:`repro.service.server` — the asyncio NDJSON TCP server tying
+  them together, with checkpointed preemption/migration and
+  rank-failure recovery;
+* :mod:`repro.service.client` — the blocking client
+  (:class:`~repro.service.client.Client`).
+
+Start one from the command line with ``python -m repro serve``.
+"""
+from .client import Client, ServiceError
+from .jobs import (JobSpec, JobValidationError, describe_schemas,
+                   validate_job)
+from .pool import WarmPool
+from .scheduler import FairShareScheduler, QueuedJob
+from .server import ServerThread, ServiceServer, start_server_thread
+
+__all__ = ["Client", "ServiceError", "JobSpec", "JobValidationError",
+           "validate_job", "describe_schemas", "WarmPool",
+           "FairShareScheduler", "QueuedJob", "ServiceServer",
+           "ServerThread", "start_server_thread"]

@@ -1,0 +1,634 @@
+"""PIC-as-a-service: the asyncio job server.
+
+One process hosts three cooperating pieces:
+
+* a TCP front end speaking **NDJSON** — one JSON object per line, one
+  request per line, responses (and ``watch`` streams) as JSON lines
+  back;
+* the :class:`~repro.service.scheduler.FairShareScheduler` deciding
+  *which* validated job runs next (priority + aging + tenant
+  fair-share, with preemption);
+* the :class:`~repro.service.pool.WarmPool` of persistent worker
+  processes actually running simulations, wired into the event loop
+  via ``loop.add_reader`` on each worker's pipe fd — no polling task,
+  no worker threads in the server.
+
+Failure handling closes the loop with the elastic-runtime work (PR 5):
+every ``checkpoint_every`` steps a running job streams a resume point
+to the server; if its worker dies (crash, ``kill-worker`` op, injected
+``die_at_step``), the job is requeued *with that checkpoint* and
+resumes on another worker — same trajectory, bit-for-bit — while the
+pool respawns a replacement worker.  Preemption uses the same
+machinery: checkpoint, yield, requeue, resume elsewhere.
+
+Requests::
+
+    {"op": "submit", "job": {...}}        -> {"ok": true, "job_id": ...}
+    {"op": "status", "job_id": ...}       -> {"ok": true, "state": ...}
+    {"op": "result", "job_id": ...}       -> blocks until terminal
+    {"op": "watch",  "job_id": ...}       -> stream of event lines
+    {"op": "cancel", "job_id": ...}
+    {"op": "stats"} | {"op": "schemas"} | {"op": "ping"}
+    {"op": "kill-worker"[, "job_id"|"worker_id"]}   (fault injection)
+    {"op": "resize", "n_workers": N}
+    {"op": "shutdown"}
+"""
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .jobs import JobValidationError, describe_schemas, validate_job
+from .pool import (PK_CKPT, PK_DIAG, PK_DONE, PK_DOWN, PK_FAIL, PK_UP,
+                   PK_YIELD, WarmPool)
+from .scheduler import FairShareScheduler, QueuedJob
+
+__all__ = ["ServiceServer", "start_server_thread", "ServerThread"]
+
+#: a job is abandoned after this many preemption-free restarts
+DEFAULT_MAX_RESTARTS = 3
+
+TERMINAL = ("done", "failed", "cancelled")
+
+
+def _json_default(obj):
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    raise TypeError(f"not JSON serializable: {type(obj).__name__}")
+
+
+def dumps(obj) -> bytes:
+    return (json.dumps(obj, default=_json_default,
+                       separators=(",", ":")) + "\n").encode()
+
+
+@dataclass
+class JobRecord:
+    """Server-side lifecycle of one submitted job."""
+
+    job_id: str
+    item: QueuedJob
+    state: str = "queued"        # queued | running | done | failed | cancelled
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    worker_id: Optional[int] = None
+    #: workers this job has run on (len > 1 means it migrated)
+    placements: List[int] = field(default_factory=list)
+    steps_done: int = 0
+    result: Optional[dict] = None
+    error: Optional[dict] = None
+    cancel_requested: bool = False
+    preempt_requested: bool = False
+    preemptions: int = 0
+    rescues: int = 0
+    done_event: asyncio.Event = field(default_factory=asyncio.Event)
+    watchers: List[asyncio.Queue] = field(default_factory=list)
+
+    def public(self) -> dict:
+        out = {"job_id": self.job_id, "state": self.state,
+               "app": self.item.spec.app,
+               "tenant": self.item.spec.tenant,
+               "priority": self.item.spec.priority,
+               "steps_done": self.steps_done,
+               "n_steps": self.item.spec.n_steps,
+               "placements": self.placements,
+               "preemptions": self.preemptions,
+               "rescues": self.rescues}
+        if self.started_at is not None:
+            out["wait_seconds"] = self.started_at - self.submitted_at
+        if self.finished_at is not None:
+            out["latency_seconds"] = (self.finished_at
+                                      - self.submitted_at)
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+class ServiceServer:
+    """The service: own it with ``async with`` or start()/stop()."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 n_workers: int = 2,
+                 scheduler: Optional[FairShareScheduler] = None,
+                 default_backend: Optional[str] = None,
+                 max_restarts: int = DEFAULT_MAX_RESTARTS,
+                 start_method: Optional[str] = None):
+        self.host = host
+        self.port = int(port)          # 0 = ephemeral; real port after start
+        self.default_backend = default_backend
+        self.max_restarts = int(max_restarts)
+        self.scheduler = scheduler or FairShareScheduler()
+        self.pool = WarmPool(n_workers, start_method=start_method)
+        self.jobs: Dict[str, JobRecord] = {}
+        self._ids = itertools.count(1)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._registered_fds: Dict[int, int] = {}   # fd -> worker_id
+        self._stopping = False
+        self.stopped: Optional[asyncio.Event] = None
+        self.counters = {"submitted": 0, "rejected": 0, "done": 0,
+                         "failed": 0, "cancelled": 0, "preemptions": 0,
+                         "rescues": 0, "worker_deaths": 0}
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self.stopped = asyncio.Event()
+        for handle in self.pool.start():
+            self._register(handle)
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._stopping:
+            return
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for fd in list(self._registered_fds):
+            self._loop.remove_reader(fd)
+        self._registered_fds.clear()
+        # unblock anyone awaiting a result
+        for record in self.jobs.values():
+            if record.state not in TERMINAL:
+                self._finish(record, "cancelled",
+                             error={"error": "server shut down"})
+        self.pool.shutdown()
+        self.stopped.set()
+
+    async def serve_forever(self) -> None:
+        """Start and block until a ``shutdown`` op (or :meth:`stop`)."""
+        await self.start()
+        await self.stopped.wait()
+
+    async def __aenter__(self) -> "ServiceServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    def _register(self, handle) -> None:
+        fd = handle.conn.fileno()
+        self._registered_fds[fd] = handle.worker_id
+        self._loop.add_reader(fd, self._on_readable, handle.worker_id,
+                              fd)
+
+    def _on_readable(self, worker_id: int, fd: int) -> None:
+        events = self.pool.drain(worker_id)
+        for event in events:
+            self._handle_event(event)
+        if any(e.kind == PK_DOWN for e in events):
+            self._loop.remove_reader(fd)
+            self._registered_fds.pop(fd, None)
+            self.pool.reap_dead()
+            if not self._stopping:
+                for handle in self.pool.ensure_target():
+                    self._register(handle)
+        self._schedule()
+
+    # -- event handling ------------------------------------------------------------
+
+    def _record_for(self, payload) -> Optional[JobRecord]:
+        if isinstance(payload, dict):
+            return self.jobs.get(payload.get("job_id") or "")
+        return None
+
+    def _handle_event(self, event) -> None:
+        record = self._record_for(event.payload)
+        if event.kind == PK_UP:
+            return
+        if event.kind == PK_DIAG and record is not None:
+            record.steps_done = event.payload["step"]
+            self._publish(record, {"event": "diag",
+                                   "job_id": record.job_id,
+                                   "step": event.payload["step"],
+                                   "metrics": event.payload["metrics"]})
+        elif event.kind == PK_CKPT and record is not None:
+            record.steps_done = event.payload["step"]
+            record.item.checkpoint = event.payload["checkpoint"]
+        elif event.kind == PK_DONE and record is not None:
+            record.steps_done = event.payload["steps"]
+            record.result = {
+                "history": event.payload["history"],
+                "steps": event.payload["steps"],
+                "resumed_from": event.payload.get("resumed_from"),
+                "elapsed": event.payload.get("elapsed"),
+                "cache": event.payload.get("cache"),
+            }
+            self._charge(record, event.payload.get("elapsed"))
+            self._finish(record, "done")
+        elif event.kind == PK_FAIL and record is not None:
+            self._charge(record, event.payload.get("elapsed"))
+            self._finish(record, "failed",
+                         error={"error": event.payload.get("error"),
+                                "traceback":
+                                    event.payload.get("traceback")})
+        elif event.kind == PK_YIELD and record is not None:
+            self._charge(record, event.payload.get("elapsed"))
+            if event.payload.get("reason") == "cancelled" \
+                    or record.cancel_requested:
+                self._finish(record, "cancelled")
+            else:
+                record.preempt_requested = False
+                record.preemptions += 1
+                self.counters["preemptions"] += 1
+                if event.payload.get("checkpoint") is not None:
+                    record.item.checkpoint = event.payload["checkpoint"]
+                    record.steps_done = event.payload["step"]
+                self._requeue(record)
+        elif event.kind == PK_DOWN:
+            self.counters["worker_deaths"] += 1
+            if record is None or record.state in TERMINAL:
+                return
+            # rescue: resume from the last streamed checkpoint (or, for
+            # non-checkpointable apps, restart from scratch); the
+            # injected death must not re-fire on the retry
+            record.item.spec.die_at_step = None
+            record.rescues += 1
+            self.counters["rescues"] += 1
+            if record.cancel_requested:
+                self._finish(record, "cancelled")
+            elif record.item.restarts >= self.max_restarts:
+                self._finish(record, "failed",
+                             error={"error": f"worker died "
+                                    f"{record.item.restarts + 1} times"})
+            else:
+                self._requeue(record)
+
+    def _charge(self, record: JobRecord, elapsed) -> None:
+        if elapsed:
+            self.scheduler.charge(record.item.spec.tenant,
+                                  float(elapsed), time.monotonic())
+
+    def _requeue(self, record: JobRecord) -> None:
+        record.state = "queued"
+        record.worker_id = None
+        self.scheduler.requeue(record.item)
+        self._publish(record, {"event": "requeued",
+                               "job_id": record.job_id,
+                               "restarts": record.item.restarts,
+                               "resume_step": record.steps_done})
+
+    def _finish(self, record: JobRecord, state: str,
+                error: Optional[dict] = None) -> None:
+        record.state = state
+        record.error = error
+        record.worker_id = None
+        record.finished_at = time.monotonic()
+        self.counters[state] += 1
+        event = {"event": state, "job_id": record.job_id}
+        if error is not None:
+            event.update(error)
+        self._publish(record, event, terminal=True)
+        record.done_event.set()
+
+    def _publish(self, record: JobRecord, event: dict,
+                 terminal: bool = False) -> None:
+        for q in record.watchers:
+            q.put_nowait(event)
+        if terminal:
+            record.watchers.clear()
+
+    # -- scheduling ----------------------------------------------------------------
+
+    def _running_items(self) -> List[QueuedJob]:
+        out = []
+        for handle in self.pool.busy_workers():
+            rec = self.jobs.get(handle.job_id or "")
+            if rec is not None and rec.state == "running" \
+                    and not rec.preempt_requested \
+                    and not rec.cancel_requested:
+                out.append(rec.item)
+        return out
+
+    def _schedule(self) -> None:
+        if self._stopping:
+            return
+        now = time.monotonic()
+        for handle in self.pool.idle_workers():
+            item = self.scheduler.pop(now)
+            if item is None:
+                break
+            record = self.jobs[item.job_id]
+            if record.cancel_requested:
+                self._finish(record, "cancelled")
+                continue
+            ckpt, item.checkpoint = item.checkpoint, None
+            if self.pool.assign(handle.worker_id, item.job_id,
+                                item.spec, ckpt, tag=item.seq):
+                record.state = "running"
+                record.worker_id = handle.worker_id
+                record.placements.append(handle.worker_id)
+                if record.started_at is None:
+                    record.started_at = now
+                self._publish(record, {"event": "running",
+                                       "job_id": record.job_id,
+                                       "worker": handle.worker_id,
+                                       "resume_step": record.steps_done
+                                       if ckpt is not None else 0})
+            else:
+                item.checkpoint = ckpt
+                self.scheduler.submit(item)
+        if len(self.scheduler) and not self.pool.idle_workers():
+            victim = self.scheduler.pick_victim(self._running_items(),
+                                                now)
+            if victim is not None:
+                rec = self.jobs[victim.job_id]
+                if rec.worker_id is not None:
+                    rec.preempt_requested = True
+                    self.pool.preempt(rec.worker_id)
+
+    # -- the NDJSON front end ------------------------------------------------------
+
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        try:
+            while not reader.at_eof():
+                line = await reader.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    req = json.loads(line)
+                    if not isinstance(req, dict):
+                        raise ValueError("request must be an object")
+                except ValueError as exc:
+                    writer.write(dumps({"ok": False,
+                                        "error": f"bad request: {exc}"}))
+                    await writer.drain()
+                    continue
+                stop_after = await self._dispatch(req, writer)
+                await writer.drain()
+                if stop_after:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # only raised at shutdown (the drain in ServerThread
+            # cancels parked handler tasks); finishing normally keeps
+            # asyncio's streams done-callback — which calls
+            # task.exception() on a *cancelled* task — from logging a
+            # spurious error during loop teardown
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError,
+                    asyncio.CancelledError):
+                pass
+
+    async def _dispatch(self, req: dict,
+                        writer: asyncio.StreamWriter) -> bool:
+        op = req.get("op")
+        if op == "ping":
+            writer.write(dumps({"ok": True, "pong": True}))
+        elif op == "schemas":
+            writer.write(dumps({"ok": True,
+                                "apps": describe_schemas()}))
+        elif op == "submit":
+            writer.write(dumps(self._op_submit(req.get("job"))))
+        elif op == "status":
+            record = self.jobs.get(req.get("job_id") or "")
+            if record is None:
+                writer.write(dumps({"ok": False,
+                                    "error": "unknown job_id"}))
+            else:
+                writer.write(dumps({"ok": True, **record.public()}))
+        elif op == "result":
+            await self._op_result(req, writer)
+        elif op == "watch":
+            await self._op_watch(req, writer)
+        elif op == "cancel":
+            writer.write(dumps(self._op_cancel(req.get("job_id"))))
+        elif op == "stats":
+            writer.write(dumps({"ok": True, **self._op_stats()}))
+        elif op == "kill-worker":
+            writer.write(dumps(self._op_kill(req)))
+        elif op == "resize":
+            writer.write(dumps(self._op_resize(req)))
+        elif op == "shutdown":
+            writer.write(dumps({"ok": True, "stopping": True}))
+            await writer.drain()
+            asyncio.get_running_loop().call_soon(
+                lambda: asyncio.ensure_future(self.stop()))
+            return True
+        else:
+            writer.write(dumps({"ok": False,
+                                "error": f"unknown op {op!r}"}))
+        return False
+
+    def _op_submit(self, raw) -> dict:
+        if isinstance(raw, dict) and self.default_backend \
+                and isinstance(raw.get("params"), dict):
+            raw["params"].setdefault("backend", self.default_backend)
+        try:
+            spec = validate_job(raw)
+        except JobValidationError as exc:
+            self.counters["rejected"] += 1
+            return {"ok": False, "error": "validation failed",
+                    "errors": exc.errors}
+        now = time.monotonic()
+        job_id = f"job-{next(self._ids):05d}"
+        item = QueuedJob(job_id=job_id, spec=spec, enqueued_at=now)
+        record = JobRecord(job_id=job_id, item=item, submitted_at=now)
+        self.jobs[job_id] = record
+        self.scheduler.submit(item)
+        self.counters["submitted"] += 1
+        self._schedule()
+        return {"ok": True, "job_id": job_id,
+                "queued": self.scheduler.queued_ids()}
+
+    async def _op_result(self, req: dict,
+                         writer: asyncio.StreamWriter) -> None:
+        record = self.jobs.get(req.get("job_id") or "")
+        if record is None:
+            writer.write(dumps({"ok": False, "error": "unknown job_id"}))
+            return
+        timeout = req.get("timeout")
+        try:
+            await asyncio.wait_for(record.done_event.wait(),
+                                   timeout=timeout)
+        except asyncio.TimeoutError:
+            writer.write(dumps({"ok": False, "error": "timeout",
+                                **record.public()}))
+            return
+        # ok reflects the *op* (a terminal answer was produced), not the
+        # job outcome — read "state" for that
+        writer.write(dumps({"ok": True, **record.public(),
+                            "result": record.result}))
+
+    async def _op_watch(self, req: dict,
+                        writer: asyncio.StreamWriter) -> None:
+        record = self.jobs.get(req.get("job_id") or "")
+        if record is None:
+            writer.write(dumps({"ok": False, "error": "unknown job_id"}))
+            return
+        if record.state in TERMINAL:
+            writer.write(dumps({"event": record.state,
+                                "job_id": record.job_id}))
+            return
+        q: asyncio.Queue = asyncio.Queue()
+        record.watchers.append(q)
+        writer.write(dumps({"ok": True, "watching": record.job_id,
+                            "state": record.state}))
+        await writer.drain()
+        while True:
+            event = await q.get()
+            writer.write(dumps(event))
+            await writer.drain()
+            if event.get("event") in TERMINAL:
+                return
+
+    def _op_cancel(self, job_id) -> dict:
+        record = self.jobs.get(job_id or "")
+        if record is None:
+            return {"ok": False, "error": "unknown job_id"}
+        if record.state in TERMINAL:
+            return {"ok": True, "state": record.state}
+        if record.state == "queued":
+            if self.scheduler.cancel(record.job_id) is not None:
+                self._finish(record, "cancelled")
+            else:   # queued record not in queue: about to be requeued
+                record.cancel_requested = True
+            return {"ok": True, "state": record.state}
+        record.cancel_requested = True
+        if record.worker_id is not None:
+            self.pool.cancel(record.worker_id)
+        return {"ok": True, "state": "cancelling"}
+
+    def _op_stats(self) -> dict:
+        now = time.monotonic()
+        states: Dict[str, int] = {}
+        for record in self.jobs.values():
+            states[record.state] = states.get(record.state, 0) + 1
+        return {"counters": dict(self.counters),
+                "jobs": states,
+                "scheduler": self.scheduler.stats(now),
+                "pool": self.pool.stats()}
+
+    def _op_kill(self, req: dict) -> dict:
+        worker_id = req.get("worker_id")
+        if worker_id is None and req.get("job_id"):
+            record = self.jobs.get(req["job_id"])
+            if record is None or record.worker_id is None:
+                return {"ok": False,
+                        "error": "job is not running on any worker"}
+            worker_id = record.worker_id
+        if worker_id is None:
+            busy = self.pool.busy_workers()
+            if not busy:
+                return {"ok": False, "error": "no busy worker to kill"}
+            worker_id = busy[0].worker_id
+        if worker_id not in self.pool.workers:
+            return {"ok": False, "error": f"unknown worker {worker_id}"}
+        self.pool.kill_worker(worker_id)
+        return {"ok": True, "killed": worker_id}
+
+    def _op_resize(self, req: dict) -> dict:
+        n = req.get("n_workers")
+        if not isinstance(n, int) or isinstance(n, bool) or n < 1:
+            return {"ok": False,
+                    "error": "n_workers must be a positive integer"}
+        for handle in self.pool.resize(n):
+            self._register(handle)
+        self._schedule()
+        return {"ok": True, "target_size": self.pool.target_size}
+
+
+# -- thread wrapper (tests, benchmarks, CLI) ---------------------------------------
+
+
+class ServerThread:
+    """A :class:`ServiceServer` running on a dedicated event-loop
+    thread, for synchronous callers (tests, benchmarks)."""
+
+    def __init__(self, **kwargs):
+        self._kwargs = kwargs
+        self.server: Optional[ServiceServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def start(self, timeout: float = 60.0) -> "ServerThread":
+        self._thread = threading.Thread(target=self._run,
+                                        name="pic-service",
+                                        daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise TimeoutError("service did not start in time")
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self.server = ServiceServer(**self._kwargs)
+            self._loop.run_until_complete(self.server.start())
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.run_until_complete(self.server.stop())
+            # drain (don't abandon) outstanding tasks — connection
+            # handlers, result waits — so nothing is GC'd mid-flight
+            pending = asyncio.all_tasks(self._loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                self._loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True))
+            self._loop.run_until_complete(
+                self._loop.shutdown_asyncgens())
+            self._loop.close()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._loop is None or not self._thread.is_alive():
+            return
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerThread":
+        if self._thread is None:
+            self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def start_server_thread(**kwargs) -> ServerThread:
+    """Start a service on a background thread; returns the running
+    :class:`ServerThread` (``.host``/``.port``/``.stop()``)."""
+    return ServerThread(**kwargs).start()

@@ -169,3 +169,63 @@ def test_main_baseline_gates_end_to_end(tmp_path):
                  payload({"speedup": 2.1},
                          seconds={"slow": 3.0, "fast": 1.0}))
     assert cr.main([base, cur]) == 0
+
+
+# -- direction: max_value ----------------------------------------------------
+
+def value_gate(ceiling, **extra):
+    g = {"direction": "max_value", "path": "latency.p99",
+         "max": ceiling}
+    g.update(extra)
+    return g
+
+
+def test_max_value_passes_at_and_below_ceiling():
+    base = payload({}, gates=[value_gate(2.0)])
+    assert cr.compare(base, payload({}, latency={"p99": 2.0}), 0.25) == []
+    assert cr.compare(base, payload({}, latency={"p99": 0.1}), 0.25) == []
+
+
+def test_max_value_fails_above_ceiling():
+    base = payload({}, gates=[value_gate(2.0)])
+    failures = cr.compare(base, payload({}, latency={"p99": 2.01}), 0.25)
+    assert failures and "ceiling" in failures[0]
+
+
+def test_max_value_ignores_global_tolerance_but_honours_gate_tolerance():
+    # global tolerance must NOT relax the absolute ceiling
+    base = payload({}, gates=[value_gate(2.0)])
+    assert cr.compare(base, payload({}, latency={"p99": 2.4}), 0.5)
+    # per-gate tolerance does: 2.0 * 1.5 = 3.0
+    base = payload({}, gates=[value_gate(2.0, tolerance=0.5)])
+    assert cr.compare(base, payload({}, latency={"p99": 2.9}), 0.0) == []
+    assert cr.compare(base, payload({}, latency={"p99": 3.1}), 0.0)
+
+
+def test_max_value_missing_or_non_numeric_path_fails():
+    base = payload({}, gates=[value_gate(2.0)])
+    assert cr.compare(base, payload({}), 0.25)
+    cur = payload({}, latency={"p99": True})
+    assert cr.compare(base, cur, 0.25)
+    cur = payload({}, latency={"p99": "fast"})
+    assert cr.compare(base, cur, 0.25)
+
+
+def test_parse_max_value_spec():
+    g = cr.parse_max_value("latency.p99=2.5")
+    assert g == {"direction": "max_value", "path": "latency.p99",
+                 "max": 2.5}
+    with pytest.raises(Exception):
+        cr.parse_max_value("no-equals-sign")
+    with pytest.raises(Exception):
+        cr.parse_max_value("=3.0")
+
+
+def test_main_max_value_cli_gate(tmp_path, capsys):
+    base = _write(tmp_path, "base.json", payload({}))
+    good = _write(tmp_path, "good.json", payload({}, latency={"p99": 1.0}))
+    bad = _write(tmp_path, "bad.json", payload({}, latency={"p99": 9.0}))
+    spec = "--max-value=latency.p99=2.0"
+    assert cr.main([base, good, spec]) == 0
+    assert cr.main([base, bad, spec]) == 1
+    assert "ceiling" in capsys.readouterr().err

@@ -1,0 +1,74 @@
+"""Regression tests for deterministic process reaping (dist.proc).
+
+``ProcCluster`` (and the service warm pool built on the same helper)
+must never leak rank processes: after ``reap_procs`` returns, every
+process — prompt exiter, straggler, or outright hang — is joined,
+terminated if necessary, and its ``multiprocessing.Process`` handle
+closed, so no zombies or sentinel fds survive pool recycling.
+"""
+import multiprocessing as mp
+import time
+
+import pytest
+
+from repro.dist.proc import ProcCluster, reap_procs
+
+_CTX = mp.get_context("fork" if "fork" in mp.get_all_start_methods()
+                      else "spawn")
+
+
+def _exit_fast():
+    pass
+
+
+def _hang_forever():
+    time.sleep(3600)
+
+
+def _assert_closed(proc):
+    """A closed Process handle raises on any liveness query."""
+    with pytest.raises(ValueError):
+        proc.is_alive()
+
+
+def test_reap_joins_prompt_exiters_and_closes_handles():
+    procs = [_CTX.Process(target=_exit_fast) for _ in range(3)]
+    for p in procs:
+        p.start()
+    reap_procs(procs, join_timeout=10.0)
+    for p in procs:
+        _assert_closed(p)
+
+
+def test_reap_terminates_hung_process_within_deadline():
+    hung = _CTX.Process(target=_hang_forever)
+    ok = _CTX.Process(target=_exit_fast)
+    hung.start()
+    ok.start()
+    t0 = time.monotonic()
+    reap_procs([hung, ok], join_timeout=0.5)
+    elapsed = time.monotonic() - t0
+    # the deadline is shared, not per-process: well under timeout+term
+    assert elapsed < 10.0
+    _assert_closed(hung)
+    _assert_closed(ok)
+
+
+def test_reap_tolerates_already_joined_processes():
+    p = _CTX.Process(target=_exit_fast)
+    p.start()
+    p.join()
+    reap_procs([p], join_timeout=1.0)
+    _assert_closed(p)
+
+
+def _rank_entry(transport):
+    return transport.my_rank
+
+
+def test_proc_cluster_leaves_no_children_behind():
+    before = len(mp.active_children())
+    result = ProcCluster(2, _rank_entry).run()
+    assert result == [0, 1]
+    # reap happened inside run(): no lingering rank processes
+    assert len(mp.active_children()) <= before

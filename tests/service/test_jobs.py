@@ -1,0 +1,150 @@
+"""Job-spec validation and checkpoint payloads (repro.service.jobs)."""
+import pytest
+
+from repro.service import jobs
+
+
+def ok(payload):
+    return jobs.validate_job(payload)
+
+
+def errors_of(payload):
+    with pytest.raises(jobs.JobValidationError) as err:
+        jobs.validate_job(payload)
+    return {e["field"]: e["error"] for e in err.value.errors}
+
+
+ADVEC = {"app": "advec",
+         "params": {"nx": 6, "ny": 6, "ppc": 2, "n_steps": 8}}
+FEMPIC = {"app": "fempic",
+          "params": {"nx": 2, "ny": 2, "nz": 6, "plasma_den": 2000.0,
+                     "n0": 2000.0, "n_steps": 6}}
+
+
+# -- schema validation -------------------------------------------------------
+
+
+def test_minimal_valid_job_gets_defaults():
+    spec = ok(ADVEC)
+    assert spec.app == "advec"
+    assert spec.priority == 5
+    assert spec.tenant == "default"
+    assert spec.preemptible is True
+    assert spec.n_steps == 8
+
+
+def test_non_object_and_unknown_field_and_unknown_app():
+    with pytest.raises(jobs.JobValidationError):
+        jobs.validate_job(["not", "a", "dict"])
+    errs = errors_of({"app": "warpx", "bogus": 1})
+    assert "app" in errs and "bogus" in errs
+
+
+def test_all_errors_reported_at_once():
+    errs = errors_of({"app": "nope", "priority": 99, "tenant": "",
+                      "diag_every": -1, "preemptible": "yes"})
+    assert set(errs) >= {"app", "priority", "tenant", "diag_every",
+                         "preemptible"}
+
+
+def test_param_type_errors_are_structured():
+    errs = errors_of({"app": "advec",
+                      "params": {"nx": "six", "ppc": 2.5,
+                                 "unknown_knob": 1}})
+    assert "expected integer" in errs["params.nx"]
+    assert "expected integer" in errs["params.ppc"]
+    assert "unknown parameter" in errs["params.unknown_knob"]
+
+
+def test_int_accepted_where_float_expected_but_not_bool():
+    spec = ok({"app": "advec", "params": {"dt": 1}})
+    assert spec.params["dt"] == 1.0
+    errs = errors_of({"app": "advec", "params": {"nx": True}})
+    assert "params.nx" in errs
+
+
+def test_blocked_params_rejected_with_reason():
+    errs = errors_of({"app": "fempic",
+                      "params": {"mesh_file": "/etc/passwd",
+                                 "collision_frequency": 0.1}})
+    assert "blocked" in errs["params.mesh_file"]
+    errs = errors_of({"app": "landau", "params": {"species": []}})
+    assert "params.species" in errs
+
+
+def test_backend_whitelist():
+    ok({"app": "advec", "params": {"backend": "omp"}})
+    errs = errors_of({"app": "advec", "params": {"backend": "cuda"}})
+    assert "not servable" in errs["params.backend"]
+
+
+def test_resource_caps():
+    errs = errors_of({"app": "advec",
+                      "params": {"n_steps": jobs.MAX_STEPS + 1}})
+    assert "params.n_steps" in errs
+    errs = errors_of({"app": "advec",
+                      "params": {"nx": 1000, "ny": 1000, "ppc": 100}})
+    assert any("cap" in e for e in errs.values())
+
+
+def test_checkpoint_interval_rejected_for_non_checkpointable_app():
+    errs = errors_of({"app": "landau", "params": {"nz": 24},
+                      "checkpoint_every": 5})
+    assert "checkpoint_every" in errs
+    spec = ok({"app": "landau",
+               "params": {"nz": 24, "ppc": 30, "n_steps": 5,
+                          "k_lambda_d": 0.4}})
+    assert not spec.adapter.checkpointable
+
+
+def test_describe_schemas_covers_all_apps():
+    schemas = jobs.describe_schemas()
+    assert set(schemas) == set(jobs.APPS())
+    assert schemas["advec"]["params"]["nx"] == "integer"
+    assert schemas["landau"]["checkpointable"] is False
+    for app, blocked in (("fempic", "mesh_file"),
+                         ("landau", "species")):
+        assert blocked not in schemas[app]["params"]
+
+
+# -- checkpoint round trips --------------------------------------------------
+
+
+@pytest.mark.parametrize("payload,mid", [(ADVEC, 4), (FEMPIC, 3)])
+def test_checkpoint_resume_is_bit_equal(payload, mid):
+    spec = ok(payload)
+    n = spec.n_steps
+    sim, hist = jobs.build_sim(spec)
+    jobs.run_steps(spec, sim, hist, 0, mid)
+    ckpt = jobs.job_checkpoint(spec, sim, hist, mid)
+    jobs.run_steps(spec, sim, hist, mid, n)
+    full = {k: list(v) for k, v in hist.items()}
+
+    sim2, hist2, start = jobs.job_restore(spec, ckpt)
+    assert start == mid
+    jobs.run_steps(spec, sim2, hist2, start, n)
+    assert hist2 == full
+
+
+def test_checkpoint_refuses_non_checkpointable_and_wrong_app():
+    lspec = ok({"app": "landau", "params": {"nz": 24, "ppc": 30,
+                                            "n_steps": 3}})
+    sim, hist = jobs.build_sim(lspec)
+    jobs.run_steps(lspec, sim, hist, 0, 1)
+    with pytest.raises(ValueError, match="not checkpointable"):
+        jobs.job_checkpoint(lspec, sim, hist, 1)
+
+    aspec = ok(ADVEC)
+    asim, ahist = jobs.build_sim(aspec)
+    ackpt = jobs.job_checkpoint(aspec, asim, ahist, 0)
+    fspec = ok(FEMPIC)
+    with pytest.raises(ValueError, match="checkpoint is for app"):
+        jobs.job_restore(fspec, ackpt)
+
+
+def test_advec_history_is_synthesised():
+    spec = ok(ADVEC)
+    sim, hist = jobs.build_sim(spec)
+    jobs.run_steps(spec, sim, hist, 0, 2)
+    assert set(hist) == {"mean_disp", "hops", "n_particles"}
+    assert len(hist["mean_disp"]) == 2

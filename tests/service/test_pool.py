@@ -1,0 +1,167 @@
+"""Warm pool mechanics (repro.service.pool): real worker processes."""
+import time
+
+import pytest
+
+from repro.service import jobs
+from repro.service.pool import (PK_CKPT, PK_DIAG, PK_DONE, PK_DOWN,
+                                PK_UP, PK_YIELD, WarmPool)
+
+ADVEC = {"app": "advec",
+         "params": {"nx": 6, "ny": 6, "ppc": 2, "n_steps": 10}}
+
+
+@pytest.fixture
+def pool():
+    p = WarmPool(2)
+    p.start()
+    up = 0
+    deadline = time.monotonic() + 60
+    while up < 2 and time.monotonic() < deadline:
+        up += sum(e.kind == PK_UP for e in p.wait_event(10))
+    assert up == 2, "workers never came up"
+    yield p
+    p.shutdown()
+
+
+def run_to_done(pool, job_id, spec, checkpoint=None, tag=1,
+                timeout=60.0):
+    wid = pool.idle_workers()[0].worker_id
+    assert pool.assign(wid, job_id, spec, checkpoint, tag=tag)
+    events = []
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        events.extend(pool.wait_event(10))
+        for e in events:
+            if e.kind == PK_DONE and e.payload["job_id"] == job_id:
+                return e.payload, events, wid
+    raise AssertionError(f"{job_id} never finished; events: "
+                         f"{[e.name for e in events]}")
+
+
+def test_run_streams_diag_and_ckpt_then_done(pool):
+    spec = jobs.validate_job(dict(ADVEC, diag_every=5,
+                                  checkpoint_every=4))
+    done, events, _ = run_to_done(pool, "j1", spec)
+    kinds = [e.kind for e in events]
+    assert PK_DIAG in kinds and PK_CKPT in kinds
+    assert done["steps"] == 10
+    assert done["resumed_from"] is None
+    assert len(done["history"]["mean_disp"]) == 10
+
+
+def test_warm_reuse_hits_cache_and_is_bit_equal(pool):
+    spec = jobs.validate_job(ADVEC)
+    first, _, wid = run_to_done(pool, "a", spec)
+    assert first["cache"]["enabled"] and first["cache"]["misses"] >= 1
+    # force the second run onto the same (now warm) worker
+    others = [h for h in pool.idle_workers() if h.worker_id != wid]
+    for h in others:
+        h.state = "busy"      # park them so run_to_done picks wid
+    try:
+        second, _, wid2 = run_to_done(pool, "b", spec, tag=2)
+    finally:
+        for h in others:
+            h.state = "idle"
+    assert wid2 == wid
+    assert second["cache"]["hits"] > first["cache"]["hits"]
+    assert second["history"] == first["history"]
+
+
+def test_resume_from_checkpoint_on_other_worker_is_bit_equal(pool):
+    spec = jobs.validate_job(ADVEC)
+    baseline, _, wid = run_to_done(pool, "base", spec)
+    sim, hist = jobs.build_sim(spec)
+    jobs.run_steps(spec, sim, hist, 0, 4)
+    ckpt = jobs.job_checkpoint(spec, sim, hist, 4)
+    other = [h for h in pool.idle_workers() if h.worker_id != wid][0]
+    assert pool.assign(other.worker_id, "resumed", spec, ckpt, tag=9)
+    deadline = time.monotonic() + 60
+    done = None
+    while done is None and time.monotonic() < deadline:
+        for e in pool.wait_event(10):
+            if e.kind == PK_DONE:
+                done = e.payload
+    assert done["resumed_from"] == 4
+    assert done["history"] == baseline["history"]
+
+
+def test_preempt_yields_checkpoint_and_worker_goes_idle(pool):
+    long = jobs.validate_job(
+        {"app": "advec",
+         "params": {"nx": 8, "ny": 8, "ppc": 4, "n_steps": 5000}})
+    wid = pool.idle_workers()[0].worker_id
+    pool.assign(wid, "long", long, None, tag=3)
+    time.sleep(0.2)
+    assert pool.preempt(wid)
+    deadline = time.monotonic() + 60
+    yielded = None
+    while yielded is None and time.monotonic() < deadline:
+        for e in pool.wait_event(10):
+            if e.kind == PK_YIELD:
+                yielded = e.payload
+    assert yielded["reason"] == "preempted"
+    assert 0 < yielded["step"] < 5000
+    assert yielded["checkpoint"]["step"] == yielded["step"]
+    assert pool.workers[wid].state == "idle"
+
+
+def test_kill_worker_surfaces_down_and_respawn(pool):
+    spec = jobs.validate_job(
+        {"app": "advec",
+         "params": {"nx": 8, "ny": 8, "ppc": 4, "n_steps": 5000}})
+    wid = pool.idle_workers()[0].worker_id
+    pool.assign(wid, "doomed", spec, None, tag=4)
+    time.sleep(0.2)
+    assert pool.kill_worker(wid)
+    deadline = time.monotonic() + 60
+    down = None
+    while down is None and time.monotonic() < deadline:
+        for e in pool.wait_event(10):
+            if e.kind == PK_DOWN:
+                down = e
+    assert down.payload["job_id"] == "doomed"
+    assert wid not in pool.workers
+    fresh = pool.ensure_target()
+    assert len(fresh) == 1 and pool.respawns >= 1
+
+
+def test_die_at_step_fires_only_on_fresh_runs(pool):
+    spec = jobs.validate_job(dict(ADVEC, die_at_step=5,
+                                  checkpoint_every=2))
+    wid = pool.idle_workers()[0].worker_id
+    pool.assign(wid, "inj", spec, None, tag=5)
+    deadline = time.monotonic() + 60
+    ckpt, down = None, None
+    while down is None and time.monotonic() < deadline:
+        for e in pool.wait_event(10):
+            if e.kind == PK_CKPT:
+                ckpt = e.payload["checkpoint"]
+            elif e.kind == PK_DOWN:
+                down = e
+    assert down is not None and ckpt is not None
+    assert ckpt["step"] == 4      # last checkpoint before the death
+    pool.ensure_target()
+    while not pool.idle_workers():
+        pool.wait_event(10)
+    # resume with the injection cleared (what the server's rescue does)
+    spec.die_at_step = None
+    wid2 = pool.idle_workers()[0].worker_id
+    pool.assign(wid2, "inj", spec, ckpt, tag=6)
+    done = None
+    deadline = time.monotonic() + 60
+    while done is None and time.monotonic() < deadline:
+        for e in pool.wait_event(10):
+            if e.kind == PK_DONE:
+                done = e.payload
+    assert done["steps"] == 10 and done["resumed_from"] == 4
+
+
+def test_resize_grows_and_shrinks(pool):
+    assert len(pool.live_workers()) == 2
+    fresh = pool.resize(3)
+    assert len(fresh) == 1
+    assert len(pool.live_workers()) == 3
+    pool.resize(1)
+    assert len(pool.live_workers()) == 1
+    assert pool.target_size == 1
