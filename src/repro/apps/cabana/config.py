@@ -40,6 +40,10 @@ class CabanaConfig:
     backend: str = "vec"
     backend_options: dict = field(default_factory=dict)
     move_tolerance: float = 0.0
+    #: whole-step program optimizer: "off" runs loops eagerly, "fuse"
+    #: records the step as a loop graph and executes it optimized
+    #: (loop fusion, gather hoisting, coalesced halo pushes)
+    program: str = "off"
 
     @property
     def n_cells(self) -> int:

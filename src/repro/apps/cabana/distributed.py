@@ -99,6 +99,8 @@ class DistributedCabana:
             for r in range(nranks)]
 
         self._initialize_particles()
+        #: the Program accumulated by run() when cfg.program != "off"
+        self.program = None
         self.history = {"e_energy": [], "b_energy": []}
 
     def _local(self):
@@ -249,8 +251,18 @@ class DistributedCabana:
             float(self.comm.allreduce(bvals, "sum")[0]))
 
     def run(self, n_steps: Optional[int] = None) -> dict:
-        for _ in range(n_steps if n_steps is not None else self.cfg.n_steps):
-            self.step()
+        steps = n_steps if n_steps is not None else self.cfg.n_steps
+        mode = getattr(self.cfg, "program", "off")
+        if mode != "off":
+            from repro import program as program_mod
+            if self.program is None:
+                self.program = program_mod.Program(mode)
+            with program_mod.record(mode=mode, program=self.program):
+                for _ in range(steps):
+                    self.step()
+        else:
+            for _ in range(steps):
+                self.step()
         return self.history
 
     def busy_seconds_per_rank(self) -> List[float]:

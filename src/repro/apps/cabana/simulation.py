@@ -48,6 +48,8 @@ class CabanaSimulation:
         self._declare()
         self._initialize_particles()
         self.step_count = 0
+        #: the Program accumulated by run() when cfg.program != "off"
+        self.program = None
         self.history = {"e_energy": [], "b_energy": []}
 
     def _declare(self) -> None:
@@ -205,6 +207,16 @@ class CabanaSimulation:
         self.history["b_energy"].append(be)
 
     def run(self, n_steps: Optional[int] = None) -> dict:
-        for _ in range(n_steps if n_steps is not None else self.cfg.n_steps):
-            self.step()
+        steps = n_steps if n_steps is not None else self.cfg.n_steps
+        mode = getattr(self.cfg, "program", "off")
+        if mode != "off":
+            from repro import program as program_mod
+            if self.program is None:
+                self.program = program_mod.Program(mode)
+            with program_mod.record(mode=mode, program=self.program):
+                for _ in range(steps):
+                    self.step()
+        else:
+            for _ in range(steps):
+                self.step()
         return self.history

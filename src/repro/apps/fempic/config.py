@@ -56,6 +56,10 @@ class FemPicConfig:
     #: fuse the charge deposit into the particle move (one pass over
     #: particle state per step instead of two)
     fuse_move: bool = False
+    #: whole-step program optimizer: "off" runs loops eagerly, "fuse"
+    #: records the step as a loop graph and executes it optimized
+    #: (loop fusion, gather hoisting, move+deposit rewrite)
+    program: str = "off"
 
     @property
     def n_cells(self) -> int:

@@ -111,6 +111,8 @@ class FemPicSimulation:
                                            cfg.dt, seed=cfg.seed + 99)
         self._inject_carry = 0.0
         self.step_count = 0
+        #: the Program accumulated by run() when cfg.program != "off"
+        self.program = None
         self.history = {"n_particles": [], "field_energy": [],
                         "max_phi": [], "injected": [], "removed": []}
 
@@ -352,6 +354,16 @@ class FemPicSimulation:
         self.history["removed"].append(res.n_removed)
 
     def run(self, n_steps: Optional[int] = None) -> dict:
-        for _ in range(n_steps if n_steps is not None else self.cfg.n_steps):
-            self.step()
+        steps = n_steps if n_steps is not None else self.cfg.n_steps
+        mode = getattr(self.cfg, "program", "off")
+        if mode != "off":
+            from repro import program as program_mod
+            if self.program is None:
+                self.program = program_mod.Program(mode)
+            with program_mod.record(mode=mode, program=self.program):
+                for _ in range(steps):
+                    self.step()
+        else:
+            for _ in range(steps):
+                self.step()
         return self.history

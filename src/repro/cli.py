@@ -67,6 +67,13 @@ def _build_parser() -> argparse.ArgumentParser:
     fp.add_argument("--move", default=None, choices=["mh", "dh"])
     fp.add_argument("--fuse-move", action="store_true", default=None,
                     help="fuse the charge deposit into the particle move")
+    fp.add_argument("--program", default=None, choices=["off", "fuse"],
+                    help="whole-step program optimizer: record each step "
+                    "as a loop graph and execute it with fusion, gather "
+                    "hoisting and temp elimination")
+    fp.add_argument("--program-explain", action="store_true",
+                    help="print the optimizer's plan (fused groups, "
+                    "hoisted gathers, fallbacks) after the run")
     fp.add_argument("--mesh-file", default=None)
     fp.add_argument("--vtk", default=None, metavar="DIR",
                     help="write mesh+particle VTK files here at the end")
@@ -88,6 +95,13 @@ def _build_parser() -> argparse.ArgumentParser:
     cb.add_argument("--fuse-move", action="store_true", default=None,
                     help="run Move_Deposit through the runtime-fused "
                     "move+deposit path")
+    cb.add_argument("--program", default=None, choices=["off", "fuse"],
+                    help="whole-step program optimizer: record each step "
+                    "as a loop graph and execute it with fusion, gather "
+                    "hoisting and temp elimination")
+    cb.add_argument("--program-explain", action="store_true",
+                    help="print the optimizer's plan (fused groups, "
+                    "hoisted gathers, fallbacks) after the run")
     cb.add_argument("--validate", action="store_true",
                     help="also run the structured reference and compare")
     _add_dist_flags(cb)
@@ -120,6 +134,10 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="run the distributed-op conformance sweep "
                     "(random mini-worlds on 2-3 ranks vs the 1-rank "
                     "oracle)")
+    vf.add_argument("--program", action="store_true",
+                    help="run the program-optimizer conformance sweep "
+                    "(op sequences replayed through the recorder with "
+                    "fusion on vs the eager loop-by-loop seq oracle)")
     vf.add_argument("--transport", default="sim",
                     choices=["sim", "proc"],
                     help="rank transport for --dist-conformance")
@@ -262,13 +280,18 @@ def _run_fempic(args) -> int:
     cfg = _overlay(FemPicConfig(), args,
                    {"steps": "n_steps", "backend": "backend",
                     "move": "move_strategy", "mesh_file": "mesh_file",
-                    "fuse_move": "fuse_move"})
+                    "fuse_move": "fuse_move", "program": "program"})
     if args.ranks:
         if args.vtk:
             raise SystemExit("error: --vtk is not supported with --ranks")
+        if args.program_explain:
+            raise SystemExit(
+                "error: --program-explain is not supported with --ranks")
         return _run_dist_app("fempic", cfg, args)
     sim = FemPicSimulation(cfg)
     sim.run()
+    if args.program_explain and sim.program is not None:
+        print(sim.program.explain())
     if not args.quiet:
         h = sim.history
         print(f"Mini-FEM-PIC: {sim.mesh.n_cells} cells, "
@@ -301,14 +324,19 @@ def _run_cabana(args) -> int:
     cfg = _overlay(CabanaConfig(), args,
                    {"steps": "n_steps", "ppc": "ppc",
                     "backend": "backend", "pusher": "pusher",
-                    "fuse_move": "fuse_move"})
+                    "fuse_move": "fuse_move", "program": "program"})
     if args.ranks:
         if args.validate:
             raise SystemExit(
                 "error: --validate is not supported with --ranks")
+        if args.program_explain:
+            raise SystemExit(
+                "error: --program-explain is not supported with --ranks")
         return _run_dist_app("cabana", cfg, args)
     sim = CabanaSimulation(cfg)
     sim.run()
+    if args.program_explain and sim.program is not None:
+        print(sim.program.explain())
     if not args.quiet:
         print(f"CabanaPIC: {cfg.n_cells} cells, {cfg.n_particles} "
               f"particles, {cfg.n_steps} steps, pusher={cfg.pusher}, "
@@ -398,9 +426,10 @@ def _verify_app(app: str, steps: Optional[int], quiet: bool) -> int:
 
 
 def _run_verify(args) -> int:
-    if not args.app and not args.conformance and not args.dist_conformance:
-        print("error: verify needs --app, --conformance and/or "
-              "--dist-conformance", file=sys.stderr)
+    if (not args.app and not args.conformance
+            and not args.dist_conformance and not args.program):
+        print("error: verify needs --app, --conformance, "
+              "--dist-conformance and/or --program", file=sys.stderr)
         return 2
     status = 0
     if args.app:
@@ -425,6 +454,23 @@ def _run_verify(args) -> int:
             print(f"conformance: {report['cases']} cases x "
                   f"{len(report['backends'])} backend(s) "
                   f"({report['executions']} executions) all match seq")
+    if args.program:
+        from repro.verify import ConformanceFailure, run_program_conformance
+        progress = None if args.quiet else print
+        try:
+            report = run_program_conformance(
+                n_cases=args.cases, seed=args.seed,
+                progress=progress, shrink=not args.no_shrink)
+        except ConformanceFailure as failure:
+            print(f"program conformance FAILED:\n{failure}",
+                  file=sys.stderr)
+            return 1
+        if not args.quiet:
+            print(f"program conformance: {report['cases']} cases "
+                  f"({report['executions']} executions, "
+                  f"{report['fused_groups']} fused groups, "
+                  f"{report['fallbacks']} fallbacks) all bit-equal to "
+                  "the eager seq oracle")
     if args.dist_conformance:
         from repro.verify import (DistConformanceFailure,
                                   run_dist_conformance)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import tracing
 from .sets import ParticleSet, Set
 from .types import dtype_of
 
@@ -43,6 +44,11 @@ class Dat:
         self.dim = int(dim)
         self.dtype = dtype_of(dtype)
         self.name = name or f"dat_on_{dset.name}"
+        #: scratch flag: contents need not survive past the loops that
+        #: produce and consume them within one step — the program
+        #: optimizer may keep a transient dat fusion-local and skip its
+        #: writeback entirely (temporary elimination)
+        self.transient = False
 
         cap = dset.capacity if isinstance(dset, ParticleSet) else dset.size
         self._raw = np.zeros((cap, self.dim), dtype=self.dtype)
@@ -65,11 +71,15 @@ class Dat:
     @property
     def data(self) -> np.ndarray:
         """Writable ``(live, dim)`` view of the live region."""
+        if tracing.active:
+            tracing.touch(self)
         return self._raw[: self.set.size]
 
     @property
     def data_ro(self) -> np.ndarray:
         """Read-only view of the live region."""
+        if tracing.active:
+            tracing.touch(self)
         view = self._raw[: self.set.size]
         view = view.view()
         view.flags.writeable = False
@@ -89,6 +99,8 @@ class Dat:
         so worker processes read it zero-copy; everyone else should use
         :attr:`data`.
         """
+        if tracing.active:
+            tracing.touch(self)
         return self._raw
 
     def adopt_raw(self, buffer: np.ndarray) -> None:
@@ -105,15 +117,22 @@ class Dat:
                 f"dat {self.name!r}: adopted buffer {buffer.shape}/"
                 f"{buffer.dtype} does not match backing array "
                 f"{self._raw.shape}/{self.dtype}")
+        if tracing.active:
+            tracing.touch(self)
         buffer[:] = self._raw
         self._raw = buffer
 
     def fill(self, value) -> None:
+        if tracing.active:
+            tracing.touch(self)
         self._raw[: self.set.size] = value
 
     def copy_from(self, other: "Dat") -> None:
         if other.set.size != self.set.size or other.dim != self.dim:
             raise ValueError("copy_from requires matching shape")
+        if tracing.active:
+            tracing.touch(self)
+            tracing.touch(other)
         self._raw[: self.set.size] = other._raw[: other.set.size]
 
     def _grow(self, new_capacity: int) -> None:
@@ -139,9 +158,26 @@ class Global:
         self.dim = int(dim)
         self.dtype = dtype_of(dtype)
         self.name = name or "global"
-        self.data = np.zeros(self.dim, dtype=self.dtype)
+        self._data = np.zeros(self.dim, dtype=self.dtype)
         if data is not None:
-            self.data[:] = np.asarray(data, dtype=self.dtype).reshape(self.dim)
+            self._data[:] = np.asarray(data,
+                                       dtype=self.dtype).reshape(self.dim)
+
+    @property
+    def data(self) -> np.ndarray:
+        if tracing.active:
+            tracing.touch(self)
+        return self._data
+
+    @data.setter
+    def data(self, value) -> None:
+        # supports augmented assignment (g.data += ...) on the property;
+        # the buffer identity is preserved
+        if tracing.active:
+            tracing.touch(self)
+        if value is not self._data:
+            self._data[:] = np.asarray(value,
+                                       dtype=self.dtype).reshape(self.dim)
 
     @property
     def value(self):
@@ -151,4 +187,4 @@ class Global:
         return self.data[0]
 
     def __repr__(self) -> str:
-        return f"<Global {self.name!r} dim={self.dim} data={self.data!r}>"
+        return f"<Global {self.name!r} dim={self.dim} data={self._data!r}>"

@@ -13,14 +13,15 @@ from typing import Callable, List, Sequence
 
 import numpy as np
 
+from . import tracing
 from .args import Arg, ArgKind
 from .context import get_context
 from .kernel import Kernel, as_kernel
 from .sets import ParticleSet, Set
 from .types import AccessMode, IterateType
 
-__all__ = ["ParLoop", "par_loop", "add_loop_hook", "remove_loop_hook",
-           "active_loop_hooks"]
+__all__ = ["ParLoop", "par_loop", "execute_parloop", "add_loop_hook",
+           "remove_loop_hook", "active_loop_hooks"]
 
 
 # -- loop hooks ----------------------------------------------------------------
@@ -157,17 +158,12 @@ class ParLoop:
                 f"n={self.n_iter} args={len(self.args)}>")
 
 
-def par_loop(kernel, name: str, iterset: Set, iterate_type: IterateType,
-             *args: Arg) -> None:
-    """Declare-and-execute a parallel loop (the ``opp_par_loop`` call).
+def execute_parloop(loop: ParLoop, ctx) -> None:
+    """Run a declared loop on ``ctx`` and record its perf row.
 
-    The loop runs on whatever backend the active context holds; the calling
-    code is identical for all of them — that is the DSL's separation of
-    concerns.
+    Shared by the eager ``par_loop`` path and the program optimizer's
+    deferred-flush executor so both record identical counters.
     """
-    loop = ParLoop(kernel, name, iterset, iterate_type, args)
-    run_loop_hooks(loop)
-    ctx = get_context()
     t0 = time.perf_counter()
     extras = ctx.backend.execute(loop) or {}
     dt = time.perf_counter() - t0
@@ -175,3 +171,23 @@ def par_loop(kernel, name: str, iterset: Set, iterate_type: IterateType,
     ctx.perf.record_loop(loop.name, n=loop.n_iter, seconds=dt,
                          flops=loop.flops(), nbytes=loop.bytes_moved(),
                          indirect_inc=loop.has_indirect_inc, **extras)
+
+
+def par_loop(kernel, name: str, iterset: Set, iterate_type: IterateType,
+             *args: Arg) -> None:
+    """Declare-and-execute a parallel loop (the ``opp_par_loop`` call).
+
+    The loop runs on whatever backend the active context holds; the calling
+    code is identical for all of them — that is the DSL's separation of
+    concerns.  Under an active program trace the declaration is deferred
+    instead: it joins the pending loop graph and executes (possibly fused
+    with its neighbours) when host code next observes its data.
+    """
+    loop = ParLoop(kernel, name, iterset, iterate_type, args)
+    run_loop_hooks(loop)
+    ctx = get_context()
+    if tracing.active:
+        tracer = tracing.current()
+        if tracer is not None and tracer.defer_parloop(loop, ctx):
+            return
+    execute_parloop(loop, ctx)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import tracing
 from .sets import ParticleSet, Set
 
 __all__ = ["Map"]
@@ -86,6 +87,8 @@ class Map:
     @property
     def values(self) -> np.ndarray:
         """Writable ``(live, arity)`` view of the live region."""
+        if tracing.active:
+            tracing.touch(self)
         return self._raw[: self.from_set.size]
 
     @property
@@ -93,11 +96,15 @@ class Map:
         """Flat live cell-index array for particle maps."""
         if not self.is_particle_map:
             raise TypeError(f"{self.name!r} is not a particle-to-cell map")
+        if tracing.active:
+            tracing.touch(self)
         return self._raw[: self.from_set.size, 0]
 
     @property
     def raw(self) -> np.ndarray:
         """Full backing connectivity (capacity rows for particle maps)."""
+        if tracing.active:
+            tracing.touch(self)
         return self._raw
 
     def adopt_raw(self, buffer: np.ndarray) -> None:
@@ -108,6 +115,8 @@ class Map:
                 f"map {self.name!r}: adopted buffer {buffer.shape}/"
                 f"{buffer.dtype} does not match backing array "
                 f"{self._raw.shape}/{self._raw.dtype}")
+        if tracing.active:
+            tracing.touch(self)
         buffer[:] = self._raw
         self._raw = buffer
 

@@ -24,6 +24,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from . import tracing
 from .args import Arg
 from .context import get_context
 from .kernel import Kernel, as_kernel
@@ -32,7 +33,7 @@ from .sets import ParticleSet
 from .types import AccessMode, MoveStatus
 
 __all__ = ["MoveContext", "MoveDeposit", "MoveLoop", "particle_move",
-           "MoveResult"]
+           "MoveResult", "execute_moveloop", "deposit_fusion_conflict"]
 
 #: Safety bound on hops per particle per move call; a well-posed PIC step
 #: moves particles at most a few cells, so hitting this indicates a bug.
@@ -124,6 +125,31 @@ class MoveDeposit:
         self.when = when
 
 
+def deposit_fusion_conflict(args: Sequence[Arg],
+                            pset: ParticleSet) -> Optional[str]:
+    """Why these arguments cannot run as a deposit fused into a move over
+    ``pset`` (None = legal).
+
+    This is the *single* legality check for move+deposit fusion: the
+    hand-fused ``particle_move(deposit_kernel=...)`` path validates with
+    it at declaration (raising), and the program optimizer consults it
+    before rewriting a separate deposit loop into the move (falling back
+    loop-by-loop on a reason).
+    """
+    for pos, a in enumerate(args):
+        try:
+            a.validate_against(pset)
+        except ValueError as exc:
+            return str(exc)
+        if a.is_indirect and a.access in (AccessMode.WRITE, AccessMode.RW):
+            return (f"indirect {a.access.name} on {a.describe(pos)} inside "
+                    "a fused deposit kernel is racy; use OPP_INC")
+        if a.is_global and a.access is not AccessMode.READ:
+            return (f"global reduction on {a.describe(pos)} inside a fused "
+                    "deposit kernel is not supported")
+    return None
+
+
 class MoveLoop:
     """Backend-independent description of a particle-move loop."""
 
@@ -169,15 +195,9 @@ class MoveLoop:
                                  "are not supported; reduce in a separate "
                                  "opp_par_loop after the move")
         if deposit is not None:
-            for a in deposit.args:
-                a.validate_against(pset)
-                if a.is_indirect and a.access in (AccessMode.WRITE,
-                                                 AccessMode.RW):
-                    raise ValueError("indirect WRITE/RW inside a fused "
-                                     "deposit kernel is racy; use OPP_INC")
-                if a.is_global and a.access is not AccessMode.READ:
-                    raise ValueError("global reductions inside a fused "
-                                     "deposit kernel are not supported")
+            reason = deposit_fusion_conflict(deposit.args, pset)
+            if reason is not None:
+                raise ValueError(reason)
             deposit.kernel.check_arity(len(deposit.args),
                                        loop_name=f"{name}:deposit")
         # +1: the elemental move kernel receives the MoveContext first
@@ -202,6 +222,54 @@ class MoveLoop:
         return f"<MoveLoop {self.name!r} over {self.pset.name!r}>"
 
 
+def execute_moveloop(loop: MoveLoop, ctx) -> MoveResult:
+    """Run a declared move loop on ``ctx`` and record its perf row.
+
+    Shared by the eager ``particle_move`` path and the program
+    optimizer's deferred-flush executor so both record identical
+    counters.
+    """
+    deposit = loop.deposit
+    t0 = time.perf_counter()
+    result = ctx.backend.execute_move(loop)
+    dt = time.perf_counter() - t0
+    n = loop.pset.size
+    fpe = loop.kernel.flops_per_elem or 0.0
+    inc_args = list(loop.args) + (list(deposit.args) if deposit else [])
+    if deposit is not None:
+        result.extras.setdefault("fused_deposit", deposit.when)
+    ctx.perf.record_loop(loop.name, n=n, seconds=dt,
+                         flops=fpe * result.total_hops,
+                         nbytes=loop.bytes_per_hop() * result.total_hops,
+                         indirect_inc=any(a.is_indirect and
+                                          a.access is AccessMode.INC
+                                          for a in inc_args),
+                         hops=result.total_hops, is_move=True,
+                         collisions=result.max_collisions,
+                         branches=loop.kernel.branch_count(),
+                         **result.extras)
+    return result
+
+
+class LazyMoveResult:
+    """Deferred :class:`MoveResult` returned by a traced particle move.
+
+    Observing any attribute flushes the pending program trace (which
+    executes the move) and then delegates to the real result.
+    """
+
+    __slots__ = ("_resolve",)
+
+    def __init__(self, resolve):
+        object.__setattr__(self, "_resolve", resolve)
+
+    def __getattr__(self, name):
+        return getattr(self._resolve(), name)
+
+    def __repr__(self) -> str:
+        return f"<LazyMoveResult {self._resolve()!r}>"
+
+
 def particle_move(kernel, name: str, pset: ParticleSet, c2c_map: Map,
                   p2c_map: Map, *args: Arg,
                   max_hops: int = DEFAULT_MAX_HOPS,
@@ -218,6 +286,10 @@ def particle_move(kernel, name: str, pset: ParticleSet, c2c_map: Map,
     (see :class:`MoveDeposit`): the backends run it per frontier round —
     on settling particles (``deposit_when="done"``) or every hop
     (``"hop"``) — so particle state is touched once.
+
+    Under an active program trace the move is deferred like any other
+    loop; the returned :class:`LazyMoveResult` flushes the trace on first
+    attribute access.
     """
     deposit = None
     if deposit_kernel is not None:
@@ -228,22 +300,10 @@ def particle_move(kernel, name: str, pset: ParticleSet, c2c_map: Map,
     from .loops import run_loop_hooks
     run_loop_hooks(loop)
     ctx = get_context()
-    t0 = time.perf_counter()
-    result = ctx.backend.execute_move(loop)
-    dt = time.perf_counter() - t0
-    n = loop.pset.size
-    fpe = loop.kernel.flops_per_elem or 0.0
-    inc_args = list(loop.args) + (list(deposit.args) if deposit else [])
-    if deposit is not None:
-        result.extras.setdefault("fused_deposit", deposit.when)
-    ctx.perf.record_loop(name, n=n, seconds=dt,
-                         flops=fpe * result.total_hops,
-                         nbytes=loop.bytes_per_hop() * result.total_hops,
-                         indirect_inc=any(a.is_indirect and
-                                          a.access is AccessMode.INC
-                                          for a in inc_args),
-                         hops=result.total_hops, is_move=True,
-                         collisions=result.max_collisions,
-                         branches=loop.kernel.branch_count(),
-                         **result.extras)
-    return result
+    if tracing.active:
+        tracer = tracing.current()
+        if tracer is not None:
+            lazy = tracer.defer_move(loop, ctx)
+            if lazy is not None:
+                return lazy
+    return execute_moveloop(loop, ctx)

@@ -14,6 +14,8 @@ from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
 
+from . import tracing
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .dats import Dat
     from .maps import Map
@@ -101,6 +103,24 @@ class ParticleSet(Set):
     @property
     def is_particle_set(self) -> bool:
         return True
+
+    # ``size`` is a plain attribute on mesh sets (their sizes are static)
+    # but a hooked property here: a pending deferred move changes the live
+    # particle count and permutes every particle dat, so *any* host
+    # observation of the set's extent must flush the trace first.  The
+    # hook also covers every ``dat.data`` access on this set, since the
+    # live-region view is sliced by ``set.size``.
+    @property
+    def size(self) -> int:
+        if tracing.active:
+            tracing.touch(self)
+        return self._size
+
+    @size.setter
+    def size(self, n: int) -> None:
+        if tracing.active:
+            tracing.touch(self)
+        self._size = int(n)
 
     @property
     def n_injected(self) -> int:

@@ -1,0 +1,54 @@
+"""Lazy-trace seam for the whole-step program optimizer.
+
+When a tracer is installed (``repro.program.record``), ``par_loop`` /
+``particle_move`` declarations are *deferred*: instead of executing, each
+declaration is appended to the tracer's pending node list.  The pending
+sequence is flushed — optimized and executed in order — the moment host
+code observes any object a pending node touches (a dat view, a map, a
+particle set's size, a lazy move result).  This is the classic
+lazy-evaluation trace of PyOP2 adapted to OP-PIC's API: the application
+source is unchanged, and correctness rests on every host-visible access
+path being hooked to :func:`touch`.
+
+The module keeps the default path nearly free: accessors guard with a
+single ``if tracing.active`` module-attribute test, and ``active`` is
+only ever True between ``install``/``uninstall``.
+"""
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["active", "install", "uninstall", "touch", "current"]
+
+#: True while a tracer is installed; accessors check this before touch().
+active: bool = False
+
+_tracer = None
+
+
+def install(tracer) -> None:
+    """Install ``tracer`` (must expose ``touch(obj)``/``record(node)``/
+    ``flush()``); only one tracer may be active at a time."""
+    global active, _tracer
+    if _tracer is not None:
+        raise RuntimeError("a program tracer is already active; "
+                           "program.record() does not nest")
+    _tracer = tracer
+    active = True
+
+
+def uninstall() -> None:
+    global active, _tracer
+    _tracer = None
+    active = False
+
+
+def current():
+    """The installed tracer, or None."""
+    return _tracer
+
+
+def touch(obj) -> None:
+    """Host code is observing ``obj``: flush pending loops that touch it."""
+    if _tracer is not None:
+        _tracer.touch(obj)

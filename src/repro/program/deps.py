@@ -1,0 +1,178 @@
+"""Fusion legality analysis over access descriptors.
+
+Two adjacent loops over the same set may run element-fused (one pass,
+common index) exactly when, for every datum both touch, per-element
+execution order reproduces per-loop order.  The access modes make this
+decidable without inspecting kernel bodies:
+
+* **direct/direct** on the same dat is always legal: both loops address
+  element ``i`` only, so interleaving per element preserves every
+  RAW/WAR/WAW chain (the executor aliases the buffers).
+* **any indirect write** (``WRITE``/``RW``/``INC`` through a map or p2c)
+  against *any* other access of the same dat is illegal — element ``i``
+  of the later loop may read/write mesh entries produced by element
+  ``j != i`` of the earlier loop, which the fused single pass has not
+  produced yet.  Sole exception: indirect ``INC`` on both sides —
+  commutative accumulation into the same target is order-free.
+* an **indirect read after a direct write/INC** is illegal for the same
+  cross-element reason (stencil reads of freshly written neighbours).
+* a **direct INC before a read** is illegal under fusion only because
+  the reading loop must observe the fully accumulated value; the fused
+  pass defers the accumulation writeback to the end of the group.
+  (Reads *before* the INC are fine — buffers alias pre-increment data.)
+* a **Global reduction before any read** of that Global is illegal: the
+  reduced value only materializes at group writeback.
+
+These rules are deliberately conservative: anything outside them falls
+back to loop-by-loop execution with a recorded reason, never to wrong
+answers.
+"""
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..core.args import Arg
+from ..core.types import AccessMode
+
+__all__ = ["AccessSummary", "summarize_args", "merge_summary",
+           "fusion_conflict", "node_pair_conflict"]
+
+_WRITES = (AccessMode.WRITE, AccessMode.RW, AccessMode.INC,
+           AccessMode.MIN, AccessMode.MAX)
+
+
+class AccessSummary:
+    """Per-dat access flags accumulated over one or more loops."""
+
+    __slots__ = ("name", "direct_read", "direct_write", "direct_inc",
+                 "indirect_read", "indirect_write", "indirect_inc",
+                 "indirect_other_write", "global_read", "global_reduce")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.direct_read = False        # READ/RW direct
+        self.direct_write = False       # WRITE/RW direct
+        self.direct_inc = False         # INC direct
+        self.indirect_read = False      # READ/RW via map/p2c
+        self.indirect_write = False     # WRITE/RW/INC/MIN/MAX via map/p2c
+        self.indirect_inc = False       # INC via map/p2c
+        self.indirect_other_write = False  # indirect write that is not INC
+        self.global_read = False
+        self.global_reduce = False
+
+    @property
+    def any_write(self) -> bool:
+        return (self.direct_write or self.direct_inc or self.indirect_write
+                or self.global_reduce)
+
+    @property
+    def any_read(self) -> bool:
+        return self.global_read or self.direct_read or self.indirect_read
+
+    def add(self, a: Arg) -> None:
+        acc = a.access
+        if a.is_global:
+            if acc is AccessMode.READ:
+                self.global_read = True
+            else:
+                self.global_reduce = True
+            return
+        if a.is_indirect:
+            if acc in (AccessMode.READ, AccessMode.RW):
+                self.indirect_read = True
+            if acc in _WRITES:
+                self.indirect_write = True
+                if acc is AccessMode.INC:
+                    self.indirect_inc = True
+                else:
+                    self.indirect_other_write = True
+            return
+        if acc in (AccessMode.READ, AccessMode.RW):
+            self.direct_read = True
+        if acc in (AccessMode.WRITE, AccessMode.RW):
+            self.direct_write = True
+        if acc in (AccessMode.INC, AccessMode.MIN, AccessMode.MAX):
+            self.direct_inc = True
+
+
+def summarize_args(args: Sequence[Arg]) -> Dict[int, AccessSummary]:
+    """Access summary of one loop, keyed by ``id(dat)``."""
+    out: Dict[int, AccessSummary] = {}
+    for a in args:
+        key = id(a.dat)
+        s = out.get(key)
+        if s is None:
+            s = out[key] = AccessSummary(a.dat.name)
+        s.add(a)
+    return out
+
+
+def merge_summary(into: Dict[int, AccessSummary],
+                  new: Dict[int, AccessSummary]) -> None:
+    """Fold ``new`` loop-level flags into a running group summary."""
+    for key, s in new.items():
+        g = into.get(key)
+        if g is None:
+            g = into[key] = AccessSummary(s.name)
+        for flag in AccessSummary.__slots__[1:]:
+            if getattr(s, flag):
+                setattr(g, flag, True)
+
+
+def _inc_only(s: AccessSummary) -> bool:
+    """All of this side's accesses to the dat are indirect INC — the one
+    indirect-write pattern that fuses (commutative, order-free scatters)."""
+    return (s.indirect_inc and not s.indirect_other_write
+            and not s.any_read and not s.direct_write and not s.direct_inc
+            and not s.global_reduce)
+
+
+def fusion_conflict(group: Dict[int, AccessSummary],
+                    cand: Dict[int, AccessSummary]) -> Optional[str]:
+    """Why the candidate loop cannot join the fused group (None = legal).
+
+    ``group`` is the merged summary of everything already in the group;
+    ``cand`` summarizes the loop being considered.  The check is
+    directional: the group executes (per element) *before* the candidate.
+    """
+    for key, c in cand.items():
+        g = group.get(key)
+        if g is None:
+            continue
+        # -- indirect writes poison cross-element visibility.  An indirect
+        #    write on either side against *any* other access of the same
+        #    dat splits the group — including indirect WAR (a stencil read
+        #    in the group, a scatter in the candidate), which a later pass
+        #    could relax but which we keep conservatively illegal.  Sole
+        #    exception: both sides exclusively indirect INC.
+        if c.indirect_write and (g.any_write or g.any_read):
+            if not (_inc_only(c) and _inc_only(g)):
+                return (f"indirect write on {g.name!r} after earlier "
+                        "access in group")
+        if g.indirect_write and (c.any_write or c.any_read):
+            if not (_inc_only(g) and _inc_only(c)):
+                return (f"access to {g.name!r} after indirect write in "
+                        "group")
+        # -- cross-element RAW: stencil read of freshly written data --------
+        if c.indirect_read and (g.direct_write or g.direct_inc):
+            return (f"indirect read of {g.name!r} after direct write in "
+                    "group (cross-element RAW)")
+        # -- accumulations must complete before they are read ---------------
+        if g.direct_inc and (c.direct_read or c.indirect_read):
+            return (f"read of {g.name!r} after direct increment in group "
+                    "(accumulation not yet written back)")
+        if g.global_reduce and c.global_read:
+            return f"read of global {g.name!r} after reduction in group"
+        if g.global_reduce and c.global_reduce:
+            # two reductions into one global would fuse fine for pure INC,
+            # but MIN/MAX mixes depend on writeback order; split instead.
+            return f"two reductions into global {g.name!r} in one group"
+    return None
+
+
+def node_pair_conflict(a_touched: frozenset, a_written: frozenset,
+                       b_touched: frozenset, b_written: frozenset) -> bool:
+    """Coarse commutativity test between two nodes (used by the
+    move+deposit rewrite to hoist a move past intermediate loops):
+    they commute when neither writes anything the other touches."""
+    return bool((a_written & b_touched) or (b_written & a_touched))

@@ -20,11 +20,12 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from ..core import tracing
 from .comm import SimComm
 
 __all__ = ["RankMesh", "HaloPlan", "build_rank_meshes",
-           "push_cell_halos", "push_node_halos", "reduce_cell_halos",
-           "reduce_node_halos"]
+           "push_cell_halos", "push_node_halos", "push_halos_grouped",
+           "reduce_cell_halos", "reduce_node_halos"]
 
 
 @dataclass
@@ -223,14 +224,58 @@ def build_rank_meshes(c2c: np.ndarray, cell_owner: np.ndarray,
 # -- exchange operations -------------------------------------------------------
 
 
+def _defer(op: str, dats: Sequence, plan: HaloPlan, comm: SimComm) -> bool:
+    """Hand the push to an active program trace (it returns to us through
+    :func:`push_halos_grouped` / the eager functions at flush time)."""
+    if not tracing.active:
+        return False
+    tracer = tracing.current()
+    return tracer is not None and tracer.defer_exchange(op, dats, plan,
+                                                        comm)
+
+
 def push_cell_halos(dats: Sequence, plan: HaloPlan, comm: SimComm) -> None:
     """Owner → ghost refresh of one cell dat per rank (``dats[r]``)."""
+    if _defer("cell_push", dats, plan, comm):
+        return
     _push(dats, plan.cell_push, comm, tag=1)
 
 
 def push_node_halos(dats: Sequence, plan: HaloPlan, comm: SimComm) -> None:
     """Owner → ghost refresh of one node dat per rank."""
+    if _defer("node_push", dats, plan, comm):
+        return
     _push(dats, plan.node_push, comm, tag=2)
+
+
+def push_halos_grouped(op: str, dat_lists: Sequence[Sequence],
+                       plan: HaloPlan, comm: SimComm) -> None:
+    """Coalesced owner → ghost refresh of several fields over one plan.
+
+    The program optimizer batches adjacent pushes of the same kind into
+    one call here: per neighbour pair the per-field frames concatenate
+    column-wise into a single fatter message (fewer frames, same payload
+    bytes for float64 fields).  Values travel as float64, matching the
+    particle migration packer; integer fields are exact below 2**53.
+    """
+    lists = plan.cell_push if op == "cell_push" else plan.node_push
+    tag = 1 if op == "cell_push" else 2
+    for (s, r), (src, _dst) in lists.items():
+        if comm.is_local(s):
+            frame = np.concatenate(
+                [np.asarray(dats[s].data[src], dtype=np.float64)
+                 for dats in dat_lists], axis=1)
+            comm.send(s, r, frame, tag=tag)
+    for (s, r), (_src, dst) in lists.items():
+        if comm.is_local(r):
+            buf = comm.recv(r, s, tag=tag)
+            col = 0
+            for dats in dat_lists:
+                d = dats[r]
+                width = d.dim
+                d.data[dst] = buf[:, col:col + width].astype(d.dtype,
+                                                             copy=False)
+                col += width
 
 
 def reduce_cell_halos(dats: Sequence, plan: HaloPlan, comm: SimComm) -> None:

@@ -40,7 +40,8 @@ from . import kernels as K
 
 __all__ = ["Case", "ConformanceFailure", "generate_case", "run_case",
            "compare_states", "shrink_case", "run_conformance",
-           "OP_NAMES", "DEFAULT_BACKENDS"]
+           "generate_program_case", "run_program_conformance",
+           "OP_NAMES", "PROGRAM_OP_NAMES", "DEFAULT_BACKENDS"]
 
 #: Backends checked against the oracle by default — the paper's four
 #: CPU-side targets minus ``seq`` itself.
@@ -132,6 +133,22 @@ def generate_case(seed: int) -> Case:
     return Case(seed, n_cells, n_nodes, arity, n_parts, program)
 
 
+def generate_program_case(seed: int) -> Case:
+    """Like :func:`generate_case` but drawn from the program-optimizer
+    catalog; every third case is forced to contain the
+    fusion-illegal WAR pair so the sweep always exercises fallback."""
+    rng = np.random.default_rng(seed)
+    n_cells = int(rng.integers(4, 11))
+    n_nodes = int(rng.integers(4, 10))
+    arity = int(rng.integers(2, 5))
+    n_parts = int(rng.integers(8, 73))
+    length = int(rng.integers(3, 8))
+    program = list(rng.choice(PROGRAM_OP_NAMES, size=length))
+    if seed % 3 == 0:
+        program.append("war_indirect_pair")
+    return Case(seed, n_cells, n_nodes, arity, n_parts, tuple(program))
+
+
 # -- world construction --------------------------------------------------------
 
 
@@ -194,6 +211,12 @@ def _build_world(case: Case) -> dict:
                               np.ones((n_parts_b, 2)), "out_b")
     world["pid_b"] = decl_dat(parts_b, 1, np.int64,
                               np.arange(n_parts_b), "pid_b")
+    # transient scratch for the program-optimizer temp-elimination op;
+    # zero-initialised (no rng draws), excluded from state snapshots
+    # because an eliminated temp legitimately never reaches memory
+    scratch = decl_dat(parts, 2, np.float64, None, "scratch")
+    scratch.transient = True
+    world["scratch"] = scratch
     return world
 
 
@@ -312,6 +335,37 @@ def _op_two_set_shared_inc_sparse(w: dict) -> None:
         _op_two_set_shared_inc(w)
 
 
+def _op_war_indirect_pair(w: dict) -> None:
+    """Forced-fusion-illegal pair: a p2c gather of ``cell_acc``
+    immediately followed by a p2c scatter-add into the same dat — an
+    indirect WAR the optimizer keeps conservatively illegal.  The
+    program sweep asserts this pair always falls back loop-by-loop
+    with the WAR reason recorded.  Both loops carry an indirect INC so
+    their halo bounds match and the WAR legality rule (not the bounds
+    compatibility check) is what splits them."""
+    par_loop(K.k_war_gather_mark, "c_war_read", w["parts"],
+             OPP_ITERATE_ALL,
+             arg_dat(w["cell_acc"], w["p2c"], OPP_READ),
+             arg_dat(w["out"], OPP_RW),
+             arg_dat(w["cell_hits"], w["p2c"], OPP_INC))
+    par_loop(K.k_p2c_inc, "c_war_inc", w["parts"], OPP_ITERATE_ALL,
+             arg_dat(w["w"], OPP_READ),
+             arg_dat(w["cell_acc"], w["p2c"], OPP_INC))
+
+
+def _op_temp_chain(w: dict) -> None:
+    """Producer→consumer through a transient scratch dat — the fusion +
+    temp-elimination target: fused, the scratch never hits memory."""
+    par_loop(K.k_direct_write, "c_temp_produce", w["parts"],
+             OPP_ITERATE_ALL,
+             arg_dat(w["w"], OPP_READ),
+             arg_dat(w["scratch"], OPP_WRITE))
+    par_loop(K.k_direct_axpy, "c_temp_consume", w["parts"],
+             OPP_ITERATE_ALL,
+             arg_dat(w["scratch"], OPP_READ),
+             arg_dat(w["out"], OPP_RW))
+
+
 OPS: Dict[str, Callable[[dict], None]] = {
     "direct_axpy": _op_direct_axpy,
     "direct_write": _op_direct_write,
@@ -334,28 +388,59 @@ OPS: Dict[str, Callable[[dict], None]] = {
 }
 OP_NAMES = tuple(sorted(OPS))
 
+#: Catalog for the program-optimizer sweep.  The ``_sparse`` ops are
+#: excluded: ``_forced_strategy`` brackets op *submission*, which under
+#: deferral no longer brackets execution.  Two extra ops target the
+#: optimizer specifically: a guaranteed-illegal indirect-WAR pair and a
+#: transient producer→consumer chain.
+PROGRAM_OPS: Dict[str, Callable[[dict], None]] = {
+    name: fn for name, fn in OPS.items() if not name.endswith("_sparse")}
+PROGRAM_OPS["war_indirect_pair"] = _op_war_indirect_pair
+PROGRAM_OPS["temp_chain"] = _op_temp_chain
+PROGRAM_OP_NAMES = tuple(sorted(PROGRAM_OPS))
+
 
 # -- execution + comparison ----------------------------------------------------
 
 
-def run_case(case: Case, backend) -> Dict[str, np.ndarray]:
+def run_case(case: Case, backend, program_mode: Optional[str] = None,
+             ops: Optional[Dict[str, Callable]] = None
+             ) -> Dict[str, np.ndarray]:
     """Execute a case's program on one backend instance; return the
     final world state.
 
     Plan caches are cleared first: plans key on ``id(map)``, and Python
-    reuses object ids across generated cases.
+    reuses object ids across generated cases.  ``program_mode`` routes
+    the replay through the program recorder (``"fuse"`` = optimized);
+    ``ops`` selects an alternative op catalog.
     """
+    state, _ = _run_case_traced(case, backend, program_mode, ops)
+    return state
+
+
+def _run_case_traced(case: Case, backend, program_mode, ops):
+    """Shared body of :func:`run_case`; additionally returns the
+    :class:`~repro.program.Program` when a program mode was active."""
+    catalog = OPS if ops is None else ops
     plan = getattr(backend, "plan", None)
     if plan is not None:
         plan.clear()
     ctx = Context("seq")
     ctx.backend = backend
     ctx.backend_name = backend.name
+    prog = None
     with push_context(ctx):
         world = _build_world(case)
-        for op in case.program:
-            OPS[op](world)
-        return _snapshot(world)
+        if program_mode:
+            from .. import program as program_mod
+            prog = program_mod.Program(program_mode)
+            with program_mod.record(mode=program_mode, program=prog):
+                for op in case.program:
+                    catalog[op](world)
+        else:
+            for op in case.program:
+                catalog[op](world)
+        return _snapshot(world), prog
 
 
 def _snapshot(w: dict) -> Dict[str, np.ndarray]:
@@ -410,7 +495,7 @@ class ConformanceFailure(AssertionError):
     """A backend diverged from the sequential oracle."""
 
     def __init__(self, backend_name: str, case: Case, shrunk: Case,
-                 mismatches: List[str]):
+                 mismatches: List[str], repro: Optional[str] = None):
         self.backend_name = backend_name
         self.case = case
         self.shrunk = shrunk
@@ -420,10 +505,10 @@ class ConformanceFailure(AssertionError):
                  f"  minimal case:  {shrunk.signature()}",
                  "  mismatches:"]
         lines += [f"    - {m}" for m in mismatches]
-        lines.append(
-            "  reproduce: PYTHONPATH=src python -m repro verify "
+        lines.append("  reproduce: " + (
+            repro or "PYTHONPATH=src python -m repro verify "
             f"--conformance --seed {case.seed} --cases 1 "
-            f"--backends {backend_name}")
+            f"--backends {backend_name}"))
         super().__init__("\n".join(lines))
 
 
@@ -433,16 +518,19 @@ def _case_fails(case: Case, oracle, backend) -> List[str]:
     return compare_states(expected, got)
 
 
-def shrink_case(case: Case, oracle, backend,
-                max_rounds: int = 40) -> Tuple[Case, List[str]]:
+def shrink_case(case: Case, oracle, backend, max_rounds: int = 40,
+                fails: Callable[[Case, object, object], List[str]]
+                = _case_fails) -> Tuple[Case, List[str]]:
     """Greedy minimisation: keep applying the first shrinking candidate
-    that still reproduces the mismatch."""
-    mismatches = _case_fails(case, oracle, backend)
+    that still reproduces the mismatch.  ``fails`` abstracts how a case
+    is judged (the program sweep substitutes its optimized-vs-eager
+    comparison)."""
+    mismatches = fails(case, oracle, backend)
     if not mismatches:
         return case, mismatches
     for _ in range(max_rounds):
         for candidate in _shrink_candidates(case):
-            cand_mismatches = _case_fails(candidate, oracle, backend)
+            cand_mismatches = fails(candidate, oracle, backend)
             if cand_mismatches:
                 case, mismatches = candidate, cand_mismatches
                 break
@@ -511,3 +599,83 @@ def run_conformance(n_cases: int = 60, seed: int = 0,
                 close()
     return {"cases": n_cases, "backends": list(backends),
             "executions": checked, "strategy": strategy}
+
+
+# -- program-optimizer conformance ---------------------------------------------
+
+#: The reason :mod:`repro.program.deps` records for the forced WAR pair;
+#: the sweep asserts it appears whenever ``war_indirect_pair`` ran.
+_WAR_REASON = "indirect write on 'cell_acc'"
+
+
+def _program_fails(rtol: float, atol: float):
+    """Build a shrink-compatible ``fails`` comparing the eager replay
+    against the optimized replay on the *same* backend."""
+    def fails(case: Case, oracle, backend) -> List[str]:
+        expected = run_case(case, oracle, ops=PROGRAM_OPS)
+        got, _ = _run_case_traced(case, backend, "fuse", PROGRAM_OPS)
+        return compare_states(expected, got, rtol=rtol, atol=atol)
+    return fails
+
+
+def run_program_conformance(n_cases: int = 40, seed: int = 0,
+                            progress: Optional[Callable[[str], None]]
+                            = None, shrink: bool = True) -> dict:
+    """Sweep generated op sequences through the program recorder.
+
+    Every case runs through ``record(mode="fuse")`` on seq and on vec,
+    each compared against its own eager baseline: **bit-exactly** on seq
+    (deferral, fusion, temp elimination and gather hoisting must be
+    invisible there), and at the standard conformance tolerances on vec
+    — the move+deposit rewrite legitimately reorders scatter
+    accumulation, exactly like the hand-fused move path it replaces.
+    Cases containing the forced WAR pair additionally assert the
+    optimizer refused the fusion for the recorded reason.  Raises
+    :class:`ConformanceFailure` (with a shrunk minimal case) on the
+    first divergence.
+    """
+    oracle = _conformance_backend("seq")
+    vec = _conformance_backend("vec")
+    checked = fused_groups = 0
+    fallbacks: set = set()
+    for i in range(n_cases):
+        case = generate_program_case(seed + i)
+        repro = ("PYTHONPATH=src python -m repro verify --program "
+                 f"--seed {case.seed} --cases 1")
+        expected_seq = run_case(case, oracle, ops=PROGRAM_OPS)
+        for name, backend, baseline, tols in (
+                ("seq", oracle, expected_seq, (0.0, 0.0)),
+                ("vec", vec, run_case(case, vec, ops=PROGRAM_OPS),
+                 (1e-9, 1e-11))):
+            got, prog = _run_case_traced(case, backend, "fuse",
+                                         PROGRAM_OPS)
+            mismatches = compare_states(baseline, got, rtol=tols[0],
+                                        atol=tols[1])
+            if mismatches:
+                shrunk = case
+                if shrink:
+                    shrunk, shrunk_mismatches = shrink_case(
+                        case, backend, backend,
+                        fails=_program_fails(*tols))
+                    if shrunk_mismatches:
+                        mismatches = shrunk_mismatches
+                raise ConformanceFailure(f"{name}+program", case,
+                                         shrunk, mismatches, repro)
+            checked += 1
+            reasons = prog.fallback_reasons
+            fallbacks.update(reasons)
+            for plan in prog.plans:
+                fused_groups += sum(1 for g in plan.groups
+                                    if g.kind == "loops" and g.fused)
+            if ("war_indirect_pair" in case.program
+                    and not any(_WAR_REASON in r
+                                for r in reasons.values())):
+                raise ConformanceFailure(
+                    f"{name}+program", case, case,
+                    [f"forced WAR pair ran but no fallback mentioning "
+                     f"{_WAR_REASON!r} was recorded; got: "
+                     f"{sorted(reasons.values())}"], repro)
+        if progress is not None and (i + 1) % 10 == 0:
+            progress(f"program conformance: {i + 1}/{n_cases} cases ok")
+    return {"cases": n_cases, "executions": checked,
+            "fused_groups": fused_groups, "fallbacks": len(fallbacks)}

@@ -1,0 +1,466 @@
+"""Whole-step program optimizer: recording, flush points, legality,
+fusion, temp elimination, gather hoisting, and the move+deposit rewrite.
+
+The contract under test everywhere: running a span of loops through
+``program.record(mode="fuse")`` is *bit-identical* to running them
+eagerly, on every backend — optimizations either preserve semantics
+exactly or fall back loop-by-loop with a recorded reason.
+"""
+import numpy as np
+import pytest
+
+from repro import program
+from repro.core.api import (OPP_INC, OPP_ITERATE_ALL, OPP_READ, OPP_RW,
+                            OPP_WRITE, Context, arg_dat, arg_gbl,
+                            decl_dat, decl_global, decl_map,
+                            decl_particle_set, decl_set, par_loop,
+                            particle_move, push_context)
+
+
+# -- kernels (module level so every backend can retrieve their source) ---------
+
+
+def k_double(x, y):
+    y[0] = 2.0 * x[0]
+
+
+def k_add_one(y, z):
+    z[0] = y[0] + 1.0
+
+
+def k_axpy(x, y):
+    y[0] = y[0] + 0.5 * x[0]
+
+
+def k_gather2(c, out):
+    out[0] = out[0] + 0.25 * c[0]
+
+
+def k_deposit(w, acc):
+    acc[0] += w[0]
+
+
+def k_gather_mark(c, out, hits):
+    out[0] = out[0] + 0.1 * c[0]
+    hits[0] += 1
+
+
+def k_reduce(x, total):
+    total[0] += x[0]
+
+
+def k_scale_by_gbl(x, g):
+    x[0] = x[0] * g[0]
+
+
+def k_walk_done(move, p):
+    move.done()
+
+
+def _world(backend="vec", n_cells=16, n_parts=40):
+    ctx = Context(backend)
+    with push_context(ctx):
+        cells = decl_set(n_cells, "cells")
+        parts = decl_particle_set(cells, n_parts, "parts")
+        chain = [[i - 1 if i > 0 else -1,
+                  i + 1 if i + 1 < n_cells else -1]
+                 for i in range(n_cells)]
+        c2c = decl_map(cells, cells, 2, chain, "c2c")
+        rng = np.random.default_rng(7)
+        p2c = decl_map(parts, cells, 1,
+                       rng.integers(0, n_cells, size=(n_parts, 1)), "p2c")
+        w = {
+            "ctx": ctx, "cells": cells, "parts": parts, "c2c": c2c,
+            "p2c": p2c,
+            "a": decl_dat(cells, 1, np.float64,
+                          rng.normal(size=n_cells), "a"),
+            "b": decl_dat(cells, 1, np.float64, None, "b"),
+            "c": decl_dat(cells, 1, np.float64, None, "c"),
+            "acc": decl_dat(cells, 1, np.float64, None, "acc"),
+            "pw": decl_dat(parts, 1, np.float64,
+                           rng.normal(size=n_parts), "pw"),
+            "pos": decl_dat(parts, 1, np.float64,
+                            rng.uniform(0, n_cells, size=n_parts), "pos"),
+            "out": decl_dat(parts, 1, np.float64,
+                            np.ones(n_parts), "out"),
+            "g": decl_global(1, np.float64, [0.0], "g"),
+        }
+    return w
+
+
+def _chain(w):
+    """a --k_double--> b --k_add_one--> c : the fusable direct chain."""
+    par_loop(k_double, "Double", w["cells"], OPP_ITERATE_ALL,
+             arg_dat(w["a"], OPP_READ), arg_dat(w["b"], OPP_WRITE))
+    par_loop(k_add_one, "AddOne", w["cells"], OPP_ITERATE_ALL,
+             arg_dat(w["b"], OPP_READ), arg_dat(w["c"], OPP_WRITE))
+
+
+# -- recording / flush semantics -----------------------------------------------
+
+
+@pytest.mark.parametrize("backend", ["seq", "vec"])
+def test_deferred_equals_eager(backend):
+    w = _world(backend)
+    with push_context(w["ctx"]):
+        _chain(w)
+        exp_b, exp_c = w["b"].data.copy(), w["c"].data.copy()
+        w["b"].fill(0.0)
+        w["c"].fill(0.0)
+        with program.record(mode="fuse") as prog:
+            _chain(w)
+        assert np.array_equal(w["b"].data, exp_b)
+        assert np.array_equal(w["c"].data, exp_c)
+    assert prog.n_flushes == 1
+
+
+def test_host_read_mid_trace_flushes():
+    w = _world("vec")
+    with push_context(w["ctx"]):
+        with program.record(mode="fuse") as prog:
+            par_loop(k_double, "Double", w["cells"], OPP_ITERATE_ALL,
+                     arg_dat(w["a"], OPP_READ), arg_dat(w["b"], OPP_WRITE))
+            # observing b must flush the pending loop right here
+            assert np.array_equal(w["b"].data, 2.0 * w["a"].data)
+            assert prog.n_flushes == 1
+            par_loop(k_add_one, "AddOne", w["cells"], OPP_ITERATE_ALL,
+                     arg_dat(w["b"], OPP_READ), arg_dat(w["c"], OPP_WRITE))
+        assert prog.n_flushes == 2
+
+
+def test_unrelated_read_does_not_flush():
+    w = _world("vec")
+    with push_context(w["ctx"]):
+        with program.record(mode="fuse") as prog:
+            par_loop(k_double, "Double", w["cells"], OPP_ITERATE_ALL,
+                     arg_dat(w["a"], OPP_READ), arg_dat(w["b"], OPP_WRITE))
+            w["out"].data  # particle dat: untouched by the pending loop
+            assert prog.n_flushes == 0
+
+
+def test_mode_off_is_a_passthrough():
+    w = _world("seq")
+    with push_context(w["ctx"]):
+        with program.record(mode="off") as prog:
+            par_loop(k_double, "Double", w["cells"], OPP_ITERATE_ALL,
+                     arg_dat(w["a"], OPP_READ), arg_dat(w["b"], OPP_WRITE))
+            # no tracer installed: the loop already ran
+            assert np.array_equal(w["b"].data, 2.0 * w["a"].data)
+    assert prog.n_flushes == 0
+
+
+def test_invalid_mode_rejected():
+    with pytest.raises(ValueError, match="program mode"):
+        program.Program("sideways")
+
+
+def test_lazy_move_result_resolves():
+    w = _world("vec")
+    with push_context(w["ctx"]):
+        with program.record(mode="fuse") as prog:
+            res = particle_move(k_walk_done, "Hold", w["parts"], w["c2c"],
+                                w["p2c"], arg_dat(w["pos"], OPP_READ))
+            assert res.n_removed == 0     # resolving forces the flush
+            assert prog.n_flushes == 1
+
+
+# -- fusion ---------------------------------------------------------------------
+
+
+def test_vec_fuses_direct_chain_bit_equal():
+    w = _world("vec")
+    with push_context(w["ctx"]):
+        _chain(w)
+        exp_b, exp_c = w["b"].data.copy(), w["c"].data.copy()
+        w["b"].fill(0.0)
+        w["c"].fill(0.0)
+        with program.record(mode="fuse") as prog:
+            _chain(w)
+        assert np.array_equal(w["b"].data, exp_b)
+        assert np.array_equal(w["c"].data, exp_c)
+    (plan,) = prog.plans
+    fused = [g for g in plan.groups if g.fused and g.kind == "loops"]
+    assert len(fused) == 1 and len(fused[0].nodes) == 2
+    assert "fuse  Double+AddOne" in prog.explain()
+
+
+def test_seq_groups_but_runs_loop_by_loop():
+    w = _world("seq")
+    with push_context(w["ctx"]):
+        with program.record(mode="fuse") as prog:
+            _chain(w)
+    assert any("loop-by-loop" in r
+               for r in prog.fallback_reasons.values())
+    assert not any(g.fused for p in prog.plans
+                   for g in p.groups if g.kind == "loops")
+
+
+def test_gather_hoisting_counts_shared_indirect_reads():
+    w = _world("vec")
+
+    def body():
+        par_loop(k_gather2, "GatherA", w["parts"], OPP_ITERATE_ALL,
+                 arg_dat(w["a"], w["p2c"], OPP_READ),
+                 arg_dat(w["out"], OPP_RW))
+        par_loop(k_gather2, "GatherB", w["parts"], OPP_ITERATE_ALL,
+                 arg_dat(w["a"], w["p2c"], OPP_READ),
+                 arg_dat(w["out"], OPP_RW))
+
+    with push_context(w["ctx"]):
+        body()
+        expect = w["out"].data.copy()
+        w["out"].fill(1.0)
+        with program.record(mode="fuse") as prog:
+            body()
+        assert np.array_equal(w["out"].data, expect)
+    (plan,) = prog.plans
+    (group,) = [g for g in plan.groups if g.kind == "loops"]
+    assert group.fused and group.hoisted >= 1
+
+
+def test_transient_temp_is_eliminated():
+    w = _world("vec")
+    w["b"].transient = True
+
+    with push_context(w["ctx"]):
+        with program.record(mode="fuse") as prog:
+            _chain(w)
+        # c carries the chain's result; the transient b was never
+        # written back to memory
+        assert np.array_equal(w["c"].data, 2.0 * w["a"].data + 1.0)
+        assert np.count_nonzero(w["b"].data) == 0
+    (plan,) = prog.plans
+    (group,) = [g for g in plan.groups if g.kind == "loops"]
+    assert group.eliminated_names == ["b"]
+    assert "eliminated temps: b" in prog.explain()
+
+
+def test_transient_used_across_groups_is_not_eliminated():
+    w = _world("vec")
+    w["b"].transient = True
+
+    with push_context(w["ctx"]):
+        with program.record(mode="fuse"):
+            par_loop(k_double, "Double", w["cells"], OPP_ITERATE_ALL,
+                     arg_dat(w["a"], OPP_READ), arg_dat(w["b"], OPP_WRITE))
+            # particle loop splits the group; b must survive to here
+            par_loop(k_gather2, "Gather", w["parts"], OPP_ITERATE_ALL,
+                     arg_dat(w["b"], w["p2c"], OPP_READ),
+                     arg_dat(w["out"], OPP_RW))
+        assert np.array_equal(w["b"].data, 2.0 * w["a"].data)
+
+
+# -- legality fallbacks ----------------------------------------------------------
+
+
+def test_indirect_war_falls_back(backend="vec"):
+    """The forced-fusion-illegal case: an indirect read of ``acc``
+    followed by an indirect INC of ``acc`` (WAR through p2c).  Both
+    loops also INC a dat so halo bounds match — the WAR legality rule
+    itself must refuse the fusion."""
+    w = _world(backend)
+    hits = None
+    with push_context(w["ctx"]):
+        hits = decl_dat(w["cells"], 1, np.float64, None, "hits")
+
+        def body():
+            par_loop(k_gather_mark, "WarRead", w["parts"],
+                     OPP_ITERATE_ALL,
+                     arg_dat(w["acc"], w["p2c"], OPP_READ),
+                     arg_dat(w["out"], OPP_RW),
+                     arg_dat(hits, w["p2c"], OPP_INC))
+            par_loop(k_deposit, "WarInc", w["parts"], OPP_ITERATE_ALL,
+                     arg_dat(w["pw"], OPP_READ),
+                     arg_dat(w["acc"], w["p2c"], OPP_INC))
+
+        body()
+        exp_out = w["out"].data.copy()
+        exp_acc = w["acc"].data.copy()
+        exp_hits = hits.data.copy()
+        w["out"].fill(1.0)
+        w["acc"].fill(0.0)
+        hits.fill(0.0)
+        with program.record(mode="fuse") as prog:
+            body()
+        assert np.array_equal(w["out"].data, exp_out)
+        assert np.array_equal(w["acc"].data, exp_acc)
+        assert np.array_equal(hits.data, exp_hits)
+    reasons = prog.fallback_reasons
+    assert any("indirect write on 'acc'" in r for r in reasons.values())
+    assert not any(g.fused for p in prog.plans
+                   for g in p.groups if g.kind == "loops")
+
+
+def test_global_read_after_reduce_falls_back():
+    w = _world("vec")
+    with push_context(w["ctx"]):
+        def body():
+            par_loop(k_reduce, "Reduce", w["cells"], OPP_ITERATE_ALL,
+                     arg_dat(w["a"], OPP_READ),
+                     arg_gbl(w["g"], OPP_INC))
+            par_loop(k_scale_by_gbl, "Scale", w["cells"],
+                     OPP_ITERATE_ALL,
+                     arg_dat(w["b"], OPP_RW),
+                     arg_gbl(w["g"], OPP_READ))
+
+        body()
+        exp_b, exp_g = w["b"].data.copy(), w["g"].data.copy()
+        w["b"].fill(0.0)
+        w["g"].data[:] = 0.0
+        with program.record(mode="fuse") as prog:
+            body()
+        assert np.array_equal(w["b"].data, exp_b)
+        assert np.array_equal(w["g"].data, exp_g)
+    assert any("after reduction in group" in r
+               for r in prog.fallback_reasons.values())
+
+
+def test_commutative_indirect_inc_pair_fuses():
+    """Two scatter-adds into the same dat are order-free and DO fuse."""
+    w = _world("vec")
+
+    def body():
+        par_loop(k_deposit, "DepA", w["parts"], OPP_ITERATE_ALL,
+                 arg_dat(w["pw"], OPP_READ),
+                 arg_dat(w["acc"], w["p2c"], OPP_INC))
+        par_loop(k_deposit, "DepB", w["parts"], OPP_ITERATE_ALL,
+                 arg_dat(w["pw"], OPP_READ),
+                 arg_dat(w["acc"], w["p2c"], OPP_INC))
+
+    with push_context(w["ctx"]):
+        body()
+        expect = w["acc"].data.copy()
+        w["acc"].fill(0.0)
+        with program.record(mode="fuse") as prog:
+            body()
+        assert np.allclose(w["acc"].data, expect, rtol=0, atol=0)
+    (plan,) = prog.plans
+    (group,) = [g for g in plan.groups if g.kind == "loops"]
+    assert group.fused and len(group.nodes) == 2
+
+
+# -- move+deposit rewrite --------------------------------------------------------
+
+
+def k_walk_chain(move, p, hits):
+    hits[0] += 1
+    lo = move.cell * 1.0
+    if p[0] < lo:
+        move.move_to(move.c2c[0])
+    elif p[0] >= lo + 1.0:
+        move.move_to(move.c2c[1])
+    else:
+        move.done()
+
+
+def _run_move_deposit(w, hits, mode):
+    """Walk every particle to its containing cell, then deposit; the
+    move mutates p2c, so callers hand in a *fresh* world per run."""
+    def body():
+        res = particle_move(k_walk_chain, "Walk", w["parts"],
+                            w["c2c"], w["p2c"],
+                            arg_dat(w["pos"], OPP_READ),
+                            arg_dat(hits, w["p2c"], OPP_INC))
+        par_loop(k_deposit, "Deposit", w["parts"], OPP_ITERATE_ALL,
+                 arg_dat(w["pw"], OPP_READ),
+                 arg_dat(w["acc"], w["p2c"], OPP_INC))
+        return res
+
+    with push_context(w["ctx"]):
+        if mode == "off":
+            return body().n_removed, None
+        prog = program.Program(mode)
+        with program.record(mode=mode, program=prog):
+            res = body()
+            n_removed = res.n_removed     # resolves the lazy result
+        return n_removed, prog
+
+
+def test_move_then_deposit_is_rewritten():
+    w_off = _world("vec")
+    hits_off = None
+    with push_context(w_off["ctx"]):
+        hits_off = decl_dat(w_off["cells"], 1, np.float64, None, "hits")
+    n_off, _ = _run_move_deposit(w_off, hits_off, "off")
+
+    w = _world("vec")
+    with push_context(w["ctx"]):
+        hits = decl_dat(w["cells"], 1, np.float64, None, "hits")
+    n_fuse, prog = _run_move_deposit(w, hits, "fuse")
+
+    assert n_fuse == n_off
+    assert np.array_equal(w["acc"].data, w_off["acc"].data)
+    assert np.array_equal(hits.data, hits_off.data)
+    assert np.array_equal(w["p2c"].p2c, w_off["p2c"].p2c)
+    (plan,) = prog.plans
+    assert plan.rewrites and "Walk+Deposit" in plan.rewrites[0]
+    move_groups = [g for g in plan.groups if g.kind == "move"]
+    assert move_groups and move_groups[0].rewritten
+    assert "rewritten from separate deposit loop" in prog.explain()
+
+
+def test_move_deposit_rewrite_refused_on_shared_dat():
+    """The candidate loop reads the dat the move's kernel INCs — the
+    shared legality check must refuse the rewrite and run both
+    separately."""
+    def run(mode):
+        w = _world("vec")
+        with push_context(w["ctx"]):
+            hits = decl_dat(w["cells"], 1, np.float64, None, "hits")
+
+            def body():
+                particle_move(k_walk_chain, "Walk", w["parts"],
+                              w["c2c"], w["p2c"],
+                              arg_dat(w["pos"], OPP_READ),
+                              arg_dat(hits, w["p2c"], OPP_INC))
+                par_loop(k_gather2, "HitsGather", w["parts"],
+                         OPP_ITERATE_ALL,
+                         arg_dat(hits, w["p2c"], OPP_READ),
+                         arg_dat(w["out"], OPP_RW))
+
+            if mode == "off":
+                body()
+                return w, hits, None
+            prog = program.Program(mode)
+            with program.record(mode=mode, program=prog):
+                body()
+            return w, hits, prog
+
+    w_off, hits_off, _ = run("off")
+    w, hits, prog = run("fuse")
+    assert np.array_equal(w["out"].data, w_off["out"].data)
+    assert np.array_equal(hits.data, hits_off.data)
+    (plan,) = prog.plans
+    assert not plan.rewrites
+    move_groups = [g for g in plan.groups if g.kind == "move"]
+    assert move_groups and not move_groups[0].rewritten
+
+
+# -- Program API -----------------------------------------------------------------
+
+
+def test_program_from_step_and_explain():
+    w = _world("vec")
+
+    def step():
+        with push_context(w["ctx"]):
+            _chain(w)
+
+    prog = program.Program.from_step(step)
+    assert prog.n_flushes == 1
+    text = prog.explain()
+    assert "program mode: fuse" in text and "shape 1 (x1):" in text
+
+
+def test_repeated_shapes_share_plans_and_kernels():
+    w = _world("vec")
+    prog = program.Program("fuse")
+    for _ in range(4):
+        with push_context(w["ctx"]):
+            with program.record(mode="fuse", program=prog):
+                _chain(w)
+    assert prog.n_flushes == 4
+    assert len(prog.executed) == 1        # one distinct shape
+    (entry,) = prog.executed.values()
+    assert entry[1] == 4                  # executed four times
+    assert len(prog.gen_cache) == 1       # one fused kernel compiled
